@@ -1,0 +1,306 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 7). Each benchmark runs its experiment at a reduced read budget
+// and reports the figure's headline metric via b.ReportMetric, so
+// `go test -bench=. -benchmem` both times the harness and reproduces the
+// result shapes. cmd/sweep prints the same tables at larger budgets.
+package fsmem
+
+import (
+	"testing"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/core"
+	"fsmem/internal/dram"
+	"fsmem/internal/experiments"
+	"fsmem/internal/leakage"
+	"fsmem/internal/sim"
+	"fsmem/internal/stats"
+	"fsmem/internal/workload"
+)
+
+func benchSettings() experiments.Settings {
+	return experiments.Settings{Cores: 8, TargetReads: 2500, Seed: 42}
+}
+
+// BenchmarkTable1Solver regenerates the Section 3/4 l values (the paper's
+// Equations 1-4) and reports the rank-partitioned minimum.
+func BenchmarkTable1Solver(b *testing.B) {
+	p := dram.DDR3_1600()
+	var l int
+	for i := 0; i < b.N; i++ {
+		var err error
+		l, err = core.MinL(core.FixedData, addr.PartitionRank, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.SolverTable(p)
+	}
+	b.ReportMetric(float64(l), "l_rank_fixed_data")
+}
+
+// BenchmarkFigure1Pipeline constructs and verifies the rank-partitioned
+// pipeline of Figure 1 and reports commands scheduled per second.
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	p := dram.DDR3_1600()
+	writes := []bool{false, true, false, false, false, false, true, true}
+	total := 0
+	for i := 0; i < b.N; i++ {
+		cmds, _, err := core.RecordPipeline(p, core.Config{Variant: core.FSRankPart, Domains: 8, Seed: 1}, writes, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if errs := core.VerifyPipeline(p, cmds); len(errs) != 0 {
+			b.Fatalf("violations: %v", errs[0])
+		}
+		total = len(cmds)
+	}
+	b.ReportMetric(float64(total), "commands")
+}
+
+// BenchmarkFigure2TripleAlternation verifies the no-partitioning pipelines
+// of Figure 2 (naive l=43 and triple alternation l=15).
+func BenchmarkFigure2TripleAlternation(b *testing.B) {
+	p := dram.DDR3_1600()
+	writes := []bool{false, true, false, false, false, false, true, true}
+	for i := 0; i < b.N; i++ {
+		for _, v := range []core.Variant{core.FSNoPart, core.FSNoPartTriple} {
+			cmds, _, err := core.RecordPipeline(p, core.Config{Variant: v, Domains: 8, Seed: 1}, writes, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if errs := core.VerifyPipeline(p, cmds); len(errs) != 0 {
+				b.Fatalf("%v violations: %v", v, errs[0])
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3DesignSpace reports the design-space summary ratios.
+func BenchmarkFigure3DesignSpace(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Figure3(experiments.NewRunner(benchSettings()))
+	}
+	v := tab.Rows[0].Values
+	b.ReportMetric(v[1], "FS_RP")
+	b.ReportMetric(v[3], "TP_BP")
+	b.ReportMetric(v[5], "TP_NP")
+}
+
+// BenchmarkFigure4Leakage reports the attacker-profile divergence under the
+// baseline (positive) and FS_RP (exactly zero).
+func BenchmarkFigure4Leakage(b *testing.B) {
+	att, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var baseDiv, fsDiv float64
+	for i := 0; i < b.N; i++ {
+		for _, k := range []sim.SchedulerKind{sim.Baseline, sim.FSRankPart} {
+			quiet, err := leakage.CollectProfile(k, att, workload.Synthetic("idle", 0.01), 8, 10_000, 150_000, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			loud, err := leakage.CollectProfile(k, att, workload.Synthetic("streaming", 45), 8, 10_000, 150_000, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := leakage.Divergence(quiet, loud)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if k == sim.Baseline {
+				baseDiv = d
+			} else {
+				fsDiv = d
+			}
+		}
+	}
+	b.ReportMetric(baseDiv, "baseline_divergence")
+	b.ReportMetric(fsDiv, "fs_divergence")
+}
+
+// BenchmarkFigure5TPTurnLength reports the fine-grained TP_BP throughput.
+func BenchmarkFigure5TPTurnLength(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Figure5(experiments.NewRunner(benchSettings()))
+	}
+	am := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(am.Values[0], "TP_BP_minturn_wipc")
+	b.ReportMetric(am.Values[3], "TP_NP_minturn_wipc")
+}
+
+// BenchmarkFigure6FSvsTP reports the headline weighted-IPC comparison.
+func BenchmarkFigure6FSvsTP(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Figure6(experiments.NewRunner(benchSettings()))
+	}
+	am := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(am.Values[0], "FS_RP_wipc")
+	b.ReportMetric(am.Values[2], "TP_BP_wipc")
+	b.ReportMetric(am.Values[0]/am.Values[2], "FS_over_TP")
+}
+
+// BenchmarkFigure7Prefetch reports the FS_RP prefetching gain.
+func BenchmarkFigure7Prefetch(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Figure7(experiments.NewRunner(benchSettings()))
+	}
+	am := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(am.Values[1]/am.Values[2], "prefetch_speedup")
+}
+
+// BenchmarkFigure8Energy reports normalized memory energy.
+func BenchmarkFigure8Energy(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Figure8(experiments.NewRunner(benchSettings()))
+	}
+	am := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(am.Values[0], "FS_RP_energy")
+	b.ReportMetric(am.Values[2], "TP_BP_energy")
+}
+
+// BenchmarkFigure9EnergyOpts reports the cumulative energy-optimization
+// reduction.
+func BenchmarkFigure9EnergyOpts(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Figure9(experiments.NewRunner(benchSettings()))
+	}
+	am := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(am.Values[0], "FS_RP")
+	b.ReportMetric(am.Values[len(am.Values)-1], "all_opts")
+}
+
+// BenchmarkFigure10Scalability reports the 2-core FS/TP ratio (the paper's
+// hardest case for FS).
+func BenchmarkFigure10Scalability(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Figure10(experiments.NewRunner(benchSettings()))
+	}
+	last := tab.Rows[len(tab.Rows)-1] // 2 cores
+	b.ReportMetric(last.Values[0]/last.Values[2], "FS_over_TP_2core")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: DRAM bus
+// cycles simulated per wall-clock second under the busiest scheduler.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	mix, err := workload.Rate("milc", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(mix, sim.Baseline)
+		cfg.TargetReads = 5000
+		res, err := sim.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Run.BusCycles
+	}
+	b.ReportMetric(float64(cycles), "bus_cycles/run")
+}
+
+// BenchmarkWeightedIPCMetric exercises the statistics path.
+func BenchmarkWeightedIPCMetric(b *testing.B) {
+	mix, err := workload.Rate("zeusmp", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(mix, sim.FSRankPart)
+	cfg.TargetReads = 2000
+	res, err := sim.Simulate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := sim.Simulate(sim.Config{
+		DRAM: cfg.DRAM, Mix: mix, Scheduler: sim.Baseline, Seed: cfg.Seed, TargetReads: 2000, MaxBusCycles: cfg.MaxBusCycles,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var w float64
+	for i := 0; i < b.N; i++ {
+		w, err = stats.WeightedIPC(res.Run, base.Run)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(w, "wipc")
+}
+
+// BenchmarkAblationDDR4 reports the DDR4-2400 design-space study (beyond
+// the paper's DDR3 evaluation; see EXPERIMENTS.md Ablation A5).
+func BenchmarkAblationDDR4(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.AblationDDR4(experiments.NewRunner(benchSettings()))
+	}
+	am := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(am.Values[0], "FS_RP_ddr4")
+	b.ReportMetric(am.Values[2], "TP_BP_ddr4")
+}
+
+// BenchmarkDifferentialChecker measures the two independent DDR timing
+// validators agreeing over a random command stream (commands per second).
+func BenchmarkDifferentialChecker(b *testing.B) {
+	p := dram.DDR3_1600()
+	for i := 0; i < b.N; i++ {
+		ch := dram.NewChannel(p)
+		ref := dram.NewReferenceChecker(p)
+		seed := uint64(i + 1)
+		next := func() uint64 {
+			seed += 0x9e3779b97f4a7c15
+			z := seed
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+		cycle := int64(0)
+		for n := 0; n < 400; n++ {
+			r := next()
+			cmd := dram.Command{
+				Kind: dram.Kind(1 + r%5),
+				Rank: int((r >> 8) % 8), Bank: int((r >> 16) % 8), Row: int((r >> 24) % 64),
+			}
+			if r%6 == 0 {
+				cmd.Kind = dram.KindActivate
+			}
+			cycle += int64(1 + (r>>40)%8)
+			chErr := ch.CanIssue(cmd, cycle)
+			refErr := ref.Check(cmd, cycle)
+			if (chErr == nil) != (refErr == nil) {
+				b.Fatalf("validators disagree on %v at %d", cmd, cycle)
+			}
+			if chErr == nil {
+				if err := ch.Issue(cmd, cycle); err != nil {
+					b.Fatal(err)
+				}
+				ref.Apply(cmd, cycle)
+			}
+		}
+	}
+}
+
+// BenchmarkSolverDDR4 times re-solving the full design space at DDR4
+// timings, including the bank-group rotation design point.
+func BenchmarkSolverDDR4(b *testing.B) {
+	p := dram.DDR4_2400()
+	var rot int
+	for i := 0; i < b.N; i++ {
+		core.SolverTable(p)
+		var err error
+		rot, err = core.MinLRotation(p.BankGroups, core.FixedRAS, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rot), "l_group_rotation")
+}

@@ -1,0 +1,107 @@
+// Command leakage runs the paper's security experiments: the Figure 4
+// execution profiles (an attacker timed against idle vs memory-intensive
+// co-runners), a mutual-information estimate of the channel, and a covert
+// channel encode/decode attempt.
+//
+// Usage:
+//
+//	leakage                         # Figure 4 profiles + MI, baseline vs FS_RP
+//	leakage -sched fs_np_optimized  # any scheduler
+//	leakage -covert                 # covert channel bit-error-rate comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsmem"
+	"fsmem/internal/leakage"
+	"fsmem/internal/sim"
+	"fsmem/internal/workload"
+)
+
+var schedNames = map[string]fsmem.SchedulerKind{
+	"baseline":        fsmem.Baseline,
+	"tp_bp":           fsmem.TPBank,
+	"tp_np":           fsmem.TPNone,
+	"fs_rp":           fsmem.FSRankPart,
+	"fs_bp":           fsmem.FSBankPart,
+	"fs_reordered_bp": fsmem.FSReorderedBank,
+	"fs_np":           fsmem.FSNoPart,
+	"fs_np_optimized": fsmem.FSNoPartTriple,
+}
+
+func main() {
+	attackerName := flag.String("attacker", "mcf", "attacker benchmark (Figure 4 uses mcf)")
+	schedName := flag.String("sched", "", "single scheduler to test (default: baseline and fs_rp)")
+	samples := flag.Int64("samples", 40, "profile samples (x10K instructions)")
+	covert := flag.Bool("covert", false, "run the covert-channel experiment instead")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	if *covert {
+		runCovert(*seed)
+		return
+	}
+
+	attacker, err := workload.ByName(*attackerName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kinds := []sim.SchedulerKind{sim.Baseline, sim.FSRankPart}
+	if *schedName != "" {
+		k, ok := schedNames[*schedName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -sched %q\n", *schedName)
+			os.Exit(2)
+		}
+		kinds = []sim.SchedulerKind{k}
+	}
+
+	milestone := int64(10_000)
+	total := *samples * milestone
+	fmt.Printf("attacker %s, 7 co-runners, sampled every %d instructions\n\n", attacker.Name, milestone)
+	for _, k := range kinds {
+		quiet, err := leakage.CollectProfile(k, attacker, workload.Synthetic("idle", 0.01), 8, milestone, total, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		loud, err := leakage.CollectProfile(k, attacker, workload.Synthetic("streaming", 45), 8, milestone, total, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		div, _ := leakage.Divergence(quiet, loud)
+		mi := leakage.MutualInformationBits(leakage.EpochDurations(quiet), leakage.EpochDurations(loud), 16)
+		fmt.Printf("== %s ==\n", k)
+		fmt.Printf("profiles identical:  %v\n", leakage.Identical(quiet, loud))
+		fmt.Printf("max divergence:      %.4f\n", div)
+		fmt.Printf("mutual information:  %.4f bits\n", mi)
+		fmt.Println("instr(x10K)  cycles(idle co-runners)  cycles(streaming co-runners)")
+		step := len(quiet.CyclesAt) / 8
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(quiet.CyclesAt) && i < len(loud.CyclesAt); i += step {
+			fmt.Printf("%10d  %22d  %27d\n", (i + 1), quiet.CyclesAt[i], loud.CyclesAt[i])
+		}
+		fmt.Println()
+	}
+}
+
+func runCovert(seed uint64) {
+	message := []bool{true, false, true, true, false, false, true, false, true, true, false, true, false, false, true, false}
+	fmt.Printf("covert channel: %d-bit message, sender modulates memory intensity per window\n\n", len(message))
+	for _, k := range []sim.SchedulerKind{sim.Baseline, sim.FSRankPart} {
+		res, err := leakage.CovertChannel(k, 8, message, 40_000, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-16s bit error rate %.2f (%d/%d wrong)\n", res.Scheduler, res.BitErrorRate, res.Errors, res.Bits)
+	}
+	fmt.Println("\n0.00 = perfect covert channel; ~0.50 = receiver learns nothing")
+}

@@ -1,0 +1,74 @@
+// Command sweep regenerates the paper's evaluation figures (Section 7) as
+// text tables: performance (Figures 3, 5, 6, 10), prefetching (Figure 7),
+// and energy (Figures 8, 9). Figure 4 is produced by cmd/leakage.
+//
+// Usage:
+//
+//	sweep                       # every figure at the default scale
+//	sweep -fig 6 -reads 100000  # one figure, bigger budget
+//	sweep -fig 6 -detail        # include the §7 side statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsmem/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,7,8,9,10, ablations, or all")
+	reads := flag.Int64("reads", 20_000, "demand reads per simulation (paper: 1M)")
+	cores := flag.Int("cores", 8, "cores / security domains")
+	seed := flag.Uint64("seed", 42, "random seed")
+	detail := flag.Bool("detail", false, "with -fig 6: also print latency/utilization/dummy statistics")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	flag.Parse()
+	render := func(t experiments.Table) string {
+		if *csv {
+			return t.CSV()
+		}
+		return t.Format()
+	}
+	_ = render
+
+	r := experiments.NewRunner(experiments.Settings{Cores: *cores, TargetReads: *reads, Seed: *seed})
+	switch *fig {
+	case "all":
+		for _, t := range experiments.All(r) {
+			fmt.Println(render(t))
+		}
+		for _, t := range experiments.Ablations(r) {
+			fmt.Println(render(t))
+		}
+	case "ablations":
+		for _, t := range experiments.Ablations(r) {
+			fmt.Println(render(t))
+		}
+	case "3":
+		fmt.Println(render(experiments.Figure3(r)))
+	case "4":
+		t, _ := experiments.Figure4(r)
+		fmt.Println(render(t))
+		fmt.Println("run cmd/leakage for the full execution-profile series")
+	case "5":
+		fmt.Println(render(experiments.Figure5(r)))
+	case "6":
+		fmt.Println(render(experiments.Figure6(r)))
+		if *detail {
+			fmt.Println(render(experiments.Figure6Detail(r)))
+		}
+	case "7":
+		fmt.Println(render(experiments.Figure7(r)))
+	case "8":
+		fmt.Println(render(experiments.Figure8(r)))
+	case "9":
+		fmt.Println(render(experiments.Figure9(r)))
+	case "10":
+		fmt.Println(render(experiments.Figure10(r)))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q (options: %v, all)\n", *fig, experiments.Names())
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,49 @@
+// Covert channel demo (Section 2.2): a firewalled sender leaks a secret to
+// a co-scheduled receiver by modulating its memory intensity; the receiver
+// decodes it by timing its own progress. The channel works on the
+// non-secure baseline and collapses to coin-flipping under Fixed Service.
+//
+//	go run ./examples/covertchannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsmem"
+	"fsmem/internal/leakage"
+	"fsmem/internal/sim"
+)
+
+func main() {
+	// The secret: one byte, MSB first.
+	secret := byte(0xA7)
+	message := make([]bool, 8)
+	for i := range message {
+		message[i] = secret&(1<<(7-i)) != 0
+	}
+	fmt.Printf("sender wants to exfiltrate the byte %#02x = %08b\n\n", secret, secret)
+
+	for _, k := range []fsmem.SchedulerKind{fsmem.Baseline, fsmem.FSRankPart} {
+		res, err := leakage.CovertChannel(sim.SchedulerKind(k), 8, message, 40_000, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var decoded byte
+		for i, rx := range res.Decoded {
+			if rx {
+				decoded |= 1 << (7 - i)
+			}
+		}
+		fmt.Printf("== %s ==\n", k)
+		fmt.Printf("received: %08b (bit error rate %.2f)\n", decoded, res.BitErrorRate)
+		if decoded == secret {
+			fmt.Println("SECRET LEAKED: the receiver recovered the byte exactly")
+		} else {
+			fmt.Printf("secret protected: %d of 8 bits wrong\n", res.Errors)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Fixed Service gives every domain an unchanging service schedule, so the")
+	fmt.Println("receiver's timing carries no information about the sender's behavior.")
+}

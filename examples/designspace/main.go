@@ -1,0 +1,76 @@
+// Design-space exploration: reproduce the Figure 3 trade-off curve on
+// DDR3-1600 and then re-run the same exploration on DDR4-2400 — the
+// framework re-solves every pipeline's slot spacing from the new timing
+// parameters, including a DDR4-only design point (bank-group rotation)
+// that the paper's machinery admits but could not evaluate in 2015.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsmem"
+)
+
+func main() {
+	for _, gen := range []struct {
+		name string
+		p    fsmem.DRAMParams
+	}{
+		{"DDR3-1600 (the paper's Table 1)", fsmem.DDR3x1600()},
+		{"DDR4-2400 (JESD79-4, 4 bank groups)", fsmem.DDR4x2400()},
+	} {
+		fmt.Printf("== %s ==\n", gen.name)
+		fmt.Println("solved slot spacings:")
+		for _, mode := range []fsmem.PartitionKind{fsmem.PartitionRank, fsmem.PartitionBank, fsmem.PartitionNone} {
+			best := ""
+			bestL := 1 << 30
+			for _, a := range []fsmem.Anchor{fsmem.FixedData, fsmem.FixedRAS, fsmem.FixedCAS} {
+				l, err := fsmem.MinSlotSpacing(a, mode, gen.p)
+				if err != nil {
+					continue
+				}
+				if l < bestL {
+					bestL, best = l, a.String()
+				}
+			}
+			fmt.Printf("  %-8v partitioning: l=%-3d (%s)\n", mode, bestL, best)
+		}
+		if gen.p.BankGroups > 1 {
+			if l, err := fsmem.MinSlotSpacingRotation(gen.p.BankGroups, fsmem.FixedRAS, gen.p); err == nil {
+				fmt.Printf("  %d-way bank-group rotation:  l=%-3d (exploits tCCD_S/tRRD_S — beyond the paper)\n",
+					gen.p.BankGroups, l)
+			}
+		}
+
+		mix, err := fsmem.RateWorkload("milc", 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseCfg := fsmem.NewConfig(mix, fsmem.Baseline)
+		baseCfg.DRAM = gen.p
+		baseCfg.TargetReads = 8000
+		base, err := fsmem.Simulate(baseCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("normalized throughput (8x milc):")
+		for _, k := range []fsmem.SchedulerKind{fsmem.FSRankPart, fsmem.FSReorderedBank, fsmem.TPBank, fsmem.FSNoPartTriple, fsmem.TPNone} {
+			cfg := fsmem.NewConfig(mix, k)
+			cfg.DRAM = gen.p
+			cfg.TargetReads = 8000
+			res, err := fsmem.Simulate(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			w, err := fsmem.WeightedIPC(res.Run, base.Run)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s %.2f of %d (%.0f%%)\n", k, w, len(mix.Profiles), w/8*100)
+		}
+		fmt.Println()
+	}
+}

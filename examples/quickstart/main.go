@@ -1,0 +1,54 @@
+// Quickstart: run one memory-intensive workload (eight copies of mcf) under
+// the non-secure baseline and under the paper's best secure design point
+// (Fixed Service with rank partitioning), and compare throughput.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsmem"
+)
+
+func main() {
+	mix, err := fsmem.RateWorkload("mcf", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Non-secure baseline: out-of-order FR-FCFS scheduling, open pages,
+	// shared queues — fast, and it leaks timing information across domains.
+	baseCfg := fsmem.NewConfig(mix, fsmem.Baseline)
+	baseCfg.TargetReads = 30_000
+	base, err := fsmem.Simulate(baseCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fixed Service with rank partitioning: every domain owns a rank and
+	// gets exactly one transaction slot every Q = 56 cycles, provably
+	// without resource conflicts — zero information leakage.
+	fsCfg := fsmem.NewConfig(mix, fsmem.FSRankPart)
+	fsCfg.TargetReads = 30_000
+	secure, err := fsmem.Simulate(fsCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w, err := fsmem.WeightedIPC(secure.Run, base.Run)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("workload: 8x mcf (rate mode), DDR3-1600, 1 channel, 8 ranks")
+	fmt.Printf("%-22s %12s %14s %12s\n", "scheduler", "read latency", "bus utilization", "dummies")
+	for _, r := range []fsmem.Result{base, secure} {
+		fmt.Printf("%-22s %9.0f cyc %13.1f%% %11.1f%%\n",
+			r.Run.Scheduler, r.Run.AvgReadLatency(), r.Run.BusUtilization()*100, r.Run.DummyFraction()*100)
+	}
+	fmt.Printf("\nsecure throughput: %.2f of %d (%.0f%% of the non-secure baseline)\n",
+		w, len(mix.Profiles), w/float64(len(mix.Profiles))*100)
+	fmt.Println("the paper's best FS design point runs at ~73% of the baseline — with zero timing leakage")
+}

@@ -1,0 +1,189 @@
+// Package fsmem is a cycle-accurate simulator of timing-channel-free DDR3
+// memory controllers, reproducing "Avoiding Information Leakage in the
+// Memory Controller with Fixed Service Policies" (Shafiee et al.,
+// MICRO 2015).
+//
+// The library contains three layers:
+//
+//   - a DDR3 channel model with the full JEDEC timing-constraint set and an
+//     independent command-stream checker;
+//   - memory scheduling policies: an optimized non-secure FR-FCFS baseline,
+//     Temporal Partitioning (Wang et al., HPCA 2014), and the paper's Fixed
+//     Service (FS) family — rank-partitioned, bank-partitioned, reordered
+//     bank-partitioned, no-partitioning, and triple alternation — together
+//     with the constraint solver that derives each pipeline's minimal slot
+//     spacing from the timing parameters;
+//   - a full-system harness: ROB-modeled cores, synthetic SPEC-like
+//     workloads, a sandbox prefetcher, a DDR3 energy model, and leakage
+//     measurement (execution-profile divergence, mutual information, covert
+//     channels).
+//
+// Quick start:
+//
+//	mix, _ := fsmem.RateWorkload("mcf", 8)
+//	cfg := fsmem.NewConfig(mix, fsmem.FSRankPart)
+//	res, err := fsmem.Simulate(cfg)
+//
+// Every experiment in the paper's evaluation can be regenerated with
+// RunFigure (or the cmd/sweep tool); see EXPERIMENTS.md for the index.
+package fsmem
+
+import (
+	"fsmem/internal/addr"
+	"fsmem/internal/core"
+	"fsmem/internal/dram"
+	"fsmem/internal/energy"
+	"fsmem/internal/experiments"
+	"fsmem/internal/leakage"
+	"fsmem/internal/sim"
+	"fsmem/internal/stats"
+	"fsmem/internal/workload"
+)
+
+// DRAMParams is the DDR3 organization and timing parameter set (Table 1).
+type DRAMParams = dram.Params
+
+// DDR3x1600 returns the paper's DDR3-1600 configuration.
+func DDR3x1600() DRAMParams { return dram.DDR3_1600() }
+
+// DDR4x2400 returns a JESD79-4 DDR4-2400 configuration with four bank
+// groups per rank; the solver and every FS variant work on it unchanged.
+func DDR4x2400() DRAMParams { return dram.DDR4_2400() }
+
+// SchedulerKind selects a memory scheduling policy.
+type SchedulerKind = sim.SchedulerKind
+
+// The available scheduling policies.
+const (
+	Baseline        = sim.Baseline
+	TPBank          = sim.TPBank
+	TPNone          = sim.TPNone
+	FSRankPart      = sim.FSRankPart
+	FSBankPart      = sim.FSBankPart
+	FSReorderedBank = sim.FSReorderedBank
+	FSNoPart        = sim.FSNoPart
+	FSNoPartTriple  = sim.FSNoPartTriple
+)
+
+// Config describes one simulation run.
+type Config = sim.Config
+
+// Result is a completed run's statistics.
+type Result = sim.Result
+
+// Run is the statistics bundle of one simulation.
+type Run = stats.Run
+
+// Mix is a multiprogrammed workload (one profile per core).
+type Mix = workload.Mix
+
+// Profile is a synthetic benchmark model.
+type Profile = workload.Profile
+
+// EnergyOpts enables the paper's three FS energy optimizations.
+type EnergyOpts = core.EnergyOpts
+
+// NewConfig returns the Table 1 default configuration for a mix and policy.
+func NewConfig(mix Mix, k SchedulerKind) Config { return sim.DefaultConfig(mix, k) }
+
+// Simulate builds and runs one simulation.
+func Simulate(cfg Config) (Result, error) { return sim.Simulate(cfg) }
+
+// WeightedIPC computes the paper's throughput metric: the sum of per-domain
+// IPCs normalized against the same domains under the baseline run.
+func WeightedIPC(run, baseline Run) (float64, error) { return stats.WeightedIPC(run, baseline) }
+
+// RateWorkload builds n copies of a named benchmark (the paper's rate mode).
+func RateWorkload(name string, n int) (Mix, error) { return workload.Rate(name, n) }
+
+// Workloads lists the available benchmark names.
+func Workloads() []string {
+	var out []string
+	for _, p := range workload.All() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Mix1 and Mix2 are the paper's mixed workloads.
+func Mix1() Mix { return workload.Mix1() }
+
+// Mix2 is the paper's second mixed workload.
+func Mix2() Mix { return workload.Mix2() }
+
+// SyntheticWorkload builds an artificial profile with the given memory
+// intensity in misses per kilo-instruction.
+func SyntheticWorkload(name string, mpki float64) Profile { return workload.Synthetic(name, mpki) }
+
+// Anchor selects the fixed-periodic event of the FS pipeline solver.
+type Anchor = core.Anchor
+
+// The solver anchors.
+const (
+	FixedData = core.FixedData
+	FixedRAS  = core.FixedRAS
+	FixedCAS  = core.FixedCAS
+)
+
+// PartitionKind is a spatial partitioning policy.
+type PartitionKind = addr.PartitionKind
+
+// The spatial partitioning policies.
+const (
+	PartitionNone    = addr.PartitionNone
+	PartitionRank    = addr.PartitionRank
+	PartitionBank    = addr.PartitionBank
+	PartitionChannel = addr.PartitionChannel
+)
+
+// MinSlotSpacing solves the paper's Equations 1-4 generalization: the
+// smallest conflict-free slot spacing l for an anchor and partitioning mode
+// at the given timings (7 for rank partitioning with fixed periodic data at
+// the Table 1 parameters).
+func MinSlotSpacing(a Anchor, mode PartitionKind, p DRAMParams) (int, error) {
+	return core.MinL(a, mode, p)
+}
+
+// SolverTable returns minimal l for every anchor/mode combination.
+func SolverTable(p DRAMParams) map[string]int { return core.SolverTable(p) }
+
+// MinSlotSpacingRotation solves the G-way bank-group rotation generalizing
+// the paper's triple alternation (G=3 on DDR3 recovers l=15; DDR4's native
+// bank groups do better via the short cross-group timings).
+func MinSlotSpacingRotation(groups int, a Anchor, p DRAMParams) (int, error) {
+	return core.MinLRotation(groups, a, p)
+}
+
+// SolveConsecutive reproduces the §3.1 N-consecutive-transactions analysis.
+func SolveConsecutive(n int, p DRAMParams) (core.ConsecutivePlan, error) {
+	return core.SolveConsecutive(n, p)
+}
+
+// ExperimentSettings scales the figure harness.
+type ExperimentSettings = experiments.Settings
+
+// FigureTable is one regenerated figure.
+type FigureTable = experiments.Table
+
+// RunFigures regenerates every evaluation figure at the given scale.
+func RunFigures(s ExperimentSettings) []FigureTable {
+	return experiments.All(experiments.NewRunner(s))
+}
+
+// LeakageProfile is an attacker execution profile (Figure 4).
+type LeakageProfile = leakage.Profile
+
+// CollectLeakageProfile times an attacker benchmark against co-runners.
+func CollectLeakageProfile(k SchedulerKind, attacker, coRunner Profile, domains int,
+	milestone, totalInstr int64, seed uint64) (LeakageProfile, error) {
+	return leakage.CollectProfile(k, attacker, coRunner, domains, milestone, totalInstr, seed)
+}
+
+// ProfilesIdentical reports strict non-interference between two profiles.
+func ProfilesIdentical(a, b LeakageProfile) bool { return leakage.Identical(a, b) }
+
+// EnergyModel is the Micron-style DDR3 energy model.
+type EnergyModel = energy.Model
+
+// NewEnergyModel builds the energy model with typical 4Gb DDR3 currents.
+func NewEnergyModel(p DRAMParams) *EnergyModel { return energy.NewModel(p, energy.DDR3_4Gb()) }

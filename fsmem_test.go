@@ -1,0 +1,89 @@
+package fsmem_test
+
+import (
+	"testing"
+
+	"fsmem"
+)
+
+func TestPublicAPISimulate(t *testing.T) {
+	mix, err := fsmem.RateWorkload("zeusmp", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fsmem.NewConfig(mix, fsmem.FSRankPart)
+	cfg.TargetReads = 1500
+	res, err := fsmem.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.TotalReads() < 1500 {
+		t.Fatalf("completed %d reads", res.Run.TotalReads())
+	}
+	base := cfg
+	base.Scheduler = fsmem.Baseline
+	bres, err := fsmem.Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fsmem.WeightedIPC(res.Run, bres.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 || w > 8.01 {
+		t.Errorf("weighted IPC %v out of range", w)
+	}
+}
+
+func TestPublicAPISolver(t *testing.T) {
+	p := fsmem.DDR3x1600()
+	l, err := fsmem.MinSlotSpacing(fsmem.FixedData, fsmem.PartitionRank, p)
+	if err != nil || l != 7 {
+		t.Fatalf("MinSlotSpacing = %d, %v; want 7", l, err)
+	}
+	table := fsmem.SolverTable(p)
+	if len(table) != 9 {
+		t.Errorf("solver table has %d entries, want 9", len(table))
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	names := fsmem.Workloads()
+	if len(names) < 10 {
+		t.Fatalf("only %d workloads", len(names))
+	}
+	if len(fsmem.Mix1().Profiles) != 8 || len(fsmem.Mix2().Profiles) != 8 {
+		t.Error("mixes malformed")
+	}
+	p := fsmem.SyntheticWorkload("probe", 12)
+	if p.MPKI() < 11.9 || p.MPKI() > 12.1 {
+		t.Errorf("synthetic MPKI %v", p.MPKI())
+	}
+}
+
+func TestPublicAPILeakage(t *testing.T) {
+	att, err := fsmem.RateWorkload("mcf", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := fsmem.CollectLeakageProfile(fsmem.FSRankPart, att.Profiles[0],
+		fsmem.SyntheticWorkload("idle", 0.01), 8, 10_000, 60_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loud, err := fsmem.CollectLeakageProfile(fsmem.FSRankPart, att.Profiles[0],
+		fsmem.SyntheticWorkload("hog", 45), 8, 10_000, 60_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsmem.ProfilesIdentical(quiet, loud) {
+		t.Fatal("public API leakage check failed")
+	}
+}
+
+func TestPublicAPIEnergy(t *testing.T) {
+	m := fsmem.NewEnergyModel(fsmem.DDR3x1600())
+	if m.ActivateEnergy() <= 0 {
+		t.Error("activate energy must be positive")
+	}
+}

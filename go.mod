@@ -1,0 +1,3 @@
+module fsmem
+
+go 1.22

@@ -1,0 +1,251 @@
+// Package addr translates between flat physical addresses and DRAM
+// coordinates (channel, rank, bank, row, column), and expresses the spatial
+// partitioning policies of the paper (Section 4): channel, rank, and bank
+// partitioning are page-coloring constraints on which coordinates a
+// security domain's data may occupy.
+package addr
+
+import (
+	"fmt"
+
+	"fsmem/internal/dram"
+)
+
+// LineBytes is the cache-line size; the low 6 address bits are the line offset.
+const LineBytes = 64
+
+// Interleave selects the bit order used to scatter consecutive lines.
+type Interleave int
+
+const (
+	// RowRankBankCol places column bits lowest: consecutive lines walk a row
+	// (maximizing row-buffer hits), then banks, then ranks. This is the
+	// baseline-friendly open-page mapping.
+	RowRankBankCol Interleave = iota
+	// RowColRankBank places rank/bank bits lowest: consecutive lines scatter
+	// across ranks and banks (maximizing parallelism, minimizing row hits).
+	RowColRankBank
+)
+
+// String names the interleave policy.
+func (iv Interleave) String() string {
+	switch iv {
+	case RowRankBankCol:
+		return "row:rank:bank:col"
+	case RowColRankBank:
+		return "row:col:rank:bank"
+	default:
+		return fmt.Sprintf("Interleave(%d)", int(iv))
+	}
+}
+
+// Mapper converts between physical addresses and DRAM coordinates for a
+// given geometry. All geometry dimensions must be powers of two.
+type Mapper struct {
+	P  dram.Params
+	IV Interleave
+
+	chanBits, rankBits, bankBits, rowBits, colBits uint
+}
+
+func log2(n int) (uint, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("addr: %d is not a positive power of two", n)
+	}
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b, nil
+}
+
+// NewMapper builds a mapper; it fails if any geometry dimension is not a
+// power of two.
+func NewMapper(p dram.Params, iv Interleave) (Mapper, error) {
+	m := Mapper{P: p, IV: iv}
+	var err error
+	if m.chanBits, err = log2(p.Channels); err != nil {
+		return m, fmt.Errorf("channels: %w", err)
+	}
+	if m.rankBits, err = log2(p.RanksPerChan); err != nil {
+		return m, fmt.Errorf("ranks: %w", err)
+	}
+	if m.bankBits, err = log2(p.BanksPerRank); err != nil {
+		return m, fmt.Errorf("banks: %w", err)
+	}
+	if m.rowBits, err = log2(p.RowsPerBank); err != nil {
+		return m, fmt.Errorf("rows: %w", err)
+	}
+	if m.colBits, err = log2(p.ColsPerRow); err != nil {
+		return m, fmt.Errorf("cols: %w", err)
+	}
+	return m, nil
+}
+
+// Bits returns the number of meaningful physical address bits.
+func (m Mapper) Bits() uint {
+	return 6 + m.chanBits + m.rankBits + m.bankBits + m.rowBits + m.colBits
+}
+
+// Decode splits a physical address into DRAM coordinates.
+func (m Mapper) Decode(phys uint64) dram.Address {
+	line := phys >> 6
+	take := func(bits uint) int {
+		v := int(line & ((1 << bits) - 1))
+		line >>= bits
+		return v
+	}
+	var a dram.Address
+	switch m.IV {
+	case RowColRankBank:
+		a.Bank = take(m.bankBits)
+		a.Rank = take(m.rankBits)
+		a.Channel = take(m.chanBits)
+		a.Col = take(m.colBits)
+	default: // RowRankBankCol
+		a.Col = take(m.colBits)
+		a.Bank = take(m.bankBits)
+		a.Rank = take(m.rankBits)
+		a.Channel = take(m.chanBits)
+	}
+	a.Row = take(m.rowBits)
+	return a
+}
+
+// Encode is the inverse of Decode.
+func (m Mapper) Encode(a dram.Address) uint64 {
+	var line uint64
+	var shift uint
+	put := func(v int, bits uint) {
+		line |= uint64(v) << shift
+		shift += bits
+	}
+	switch m.IV {
+	case RowColRankBank:
+		put(a.Bank, m.bankBits)
+		put(a.Rank, m.rankBits)
+		put(a.Channel, m.chanBits)
+		put(a.Col, m.colBits)
+	default:
+		put(a.Col, m.colBits)
+		put(a.Bank, m.bankBits)
+		put(a.Rank, m.rankBits)
+		put(a.Channel, m.chanBits)
+	}
+	put(a.Row, m.rowBits)
+	return line << 6
+}
+
+// PartitionKind is the spatial-partitioning policy of Section 4.
+type PartitionKind int
+
+const (
+	// PartitionNone shares every rank and bank among all domains.
+	PartitionNone PartitionKind = iota
+	// PartitionRank dedicates disjoint rank sets to domains (page coloring
+	// on rank bits); requires domains ≤ ranks.
+	PartitionRank
+	// PartitionBank dedicates disjoint bank indices (across all ranks) to
+	// domains; requires domains ≤ banks per rank for the worst-case
+	// same-rank pipeline the paper analyzes.
+	PartitionBank
+	// PartitionChannel dedicates whole channels to domains (no sharing, no
+	// timing channel); requires domains ≤ channels.
+	PartitionChannel
+)
+
+// String names the partition kind.
+func (k PartitionKind) String() string {
+	switch k {
+	case PartitionNone:
+		return "none"
+	case PartitionRank:
+		return "rank"
+	case PartitionBank:
+		return "bank"
+	case PartitionChannel:
+		return "channel"
+	default:
+		return fmt.Sprintf("PartitionKind(%d)", int(k))
+	}
+}
+
+// Space is the set of (rank, bank) pairs a domain may occupy within one
+// channel. Ranks and Banks are each non-empty; the space is their product.
+type Space struct {
+	Ranks []int
+	Banks []int
+}
+
+// Contains reports whether the (rank, bank) pair lies in the space.
+func (s Space) Contains(rank, bank int) bool {
+	return containsInt(s.Ranks, rank) && containsInt(s.Banks, bank)
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func seq(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// SpaceFor computes the page-coloring space for one domain under the given
+// partitioning, mirroring the OS allocation policy described in §5.1.
+func SpaceFor(kind PartitionKind, domain, numDomains int, p dram.Params) (Space, error) {
+	if domain < 0 || domain >= numDomains {
+		return Space{}, fmt.Errorf("addr: domain %d out of range [0,%d)", domain, numDomains)
+	}
+	switch kind {
+	case PartitionNone, PartitionChannel:
+		// Channel partitioning separates domains across channels; within its
+		// own channel a domain sees everything.
+		return Space{Ranks: seq(p.RanksPerChan), Banks: seq(p.BanksPerRank)}, nil
+	case PartitionRank:
+		if numDomains > p.RanksPerChan {
+			return Space{}, fmt.Errorf("addr: rank partitioning needs domains (%d) <= ranks (%d)", numDomains, p.RanksPerChan)
+		}
+		per := p.RanksPerChan / numDomains
+		ranks := make([]int, 0, per)
+		for r := domain * per; r < (domain+1)*per; r++ {
+			ranks = append(ranks, r)
+		}
+		return Space{Ranks: ranks, Banks: seq(p.BanksPerRank)}, nil
+	case PartitionBank:
+		if numDomains > p.BanksPerRank {
+			return Space{}, fmt.Errorf("addr: bank partitioning needs domains (%d) <= banks per rank (%d)", numDomains, p.BanksPerRank)
+		}
+		per := p.BanksPerRank / numDomains
+		banks := make([]int, 0, per)
+		for b := domain * per; b < (domain+1)*per; b++ {
+			banks = append(banks, b)
+		}
+		return Space{Ranks: seq(p.RanksPerChan), Banks: banks}, nil
+	default:
+		return Space{}, fmt.Errorf("addr: unknown partition kind %v", kind)
+	}
+}
+
+// Disjoint reports whether two spaces can never map to the same bank.
+func Disjoint(a, b Space) bool {
+	for _, r := range a.Ranks {
+		if containsInt(b.Ranks, r) {
+			for _, bk := range a.Banks {
+				if containsInt(b.Banks, bk) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+// Package cache implements the on-chip cache hierarchy of Table 1: private
+// L1s (32KB, 2-way) in front of a shared L2 (4MB, 8-way), with LRU
+// replacement and dirty write-back. The main experiments drive the memory
+// controller with post-LLC streams directly (the USIMM methodology); this
+// package exists so pre-cache address traces can be filtered to post-LLC
+// streams (FilteredStream), and is exercised by examples and tests.
+package cache
+
+import (
+	"fmt"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/trace"
+)
+
+// Config sizes one cache.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	// LatencyCycles is the hit latency in CPU cycles (informational; the
+	// ROB model folds small hit latencies into the instruction stream).
+	LatencyCycles int
+}
+
+// L1Config returns Table 1's L1 data cache: 32KB, 2-way, 1 cycle.
+func L1Config() Config { return Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 2, LatencyCycles: 1} }
+
+// L2Config returns Table 1's shared L2: 4MB, 8-way, 10 cycles.
+func L2Config() Config { return Config{SizeBytes: 4 << 20, LineBytes: 64, Ways: 8, LatencyCycles: 10} }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse orders LRU within a set.
+	lastUse uint64
+}
+
+// Cache is one set-associative write-back cache. Not safe for concurrent
+// use; the simulator is single-threaded by design.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	shift   uint
+	clock   uint64
+
+	Hits, Misses, Writebacks int64
+}
+
+// New builds a cache; the geometry must divide evenly into power-of-two
+// sets.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry %+v", cfg)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets is not a positive power of two", sets)
+	}
+	var shift uint
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(sets - 1), shift: shift}
+	c.sets = make([][]line, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Access looks up the address; on a miss it fills the line, evicting LRU.
+// It returns whether the access hit and, when a dirty victim was evicted,
+// its address.
+func (c *Cache) Access(a uint64, write bool) (hit bool, writeback uint64, hasWB bool) {
+	c.clock++
+	lineAddr := a >> c.shift
+	set := c.sets[lineAddr&c.setMask]
+	// The tag stores the full line address so evicted victims can be
+	// reconstructed without re-deriving the set index.
+	tag := lineAddr
+
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return true, 0, false
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	c.Misses++
+	v := &set[victim]
+	if v.valid && v.dirty {
+		writeback = v.tag << c.shift
+		hasWB = true
+		c.Writebacks++
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	return false, writeback, hasWB
+}
+
+// Contains reports whether the address is resident (no LRU update).
+func (c *Cache) Contains(a uint64) bool {
+	lineAddr := a >> c.shift
+	set := c.sets[lineAddr&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// HitRate returns hits / (hits + misses).
+func (c *Cache) HitRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(t)
+}
+
+// Hierarchy is one core's view of the cache hierarchy: a private L1 over a
+// (possibly shared) L2.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+}
+
+// NewHierarchy builds a private L1 over the given shared L2.
+func NewHierarchy(shared *Cache) (*Hierarchy, error) {
+	l1, err := New(L1Config())
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1: l1, L2: shared}, nil
+}
+
+// Access runs one reference through L1 then L2. It returns the hit level
+// (1, 2, or 0 for memory) and any dirty L2 victim that must be written
+// back to memory.
+func (h *Hierarchy) Access(a uint64, write bool) (level int, writeback uint64, hasWB bool) {
+	if hit, wb, has := h.L1.Access(a, write); hit {
+		return 1, 0, false
+	} else if has {
+		// L1 victim write-back lands in L2 (allocate-on-write-back).
+		if _, l2wb, l2has := h.L2.Access(wb, true); l2has {
+			return 1, l2wb, true // rare double eviction; surface the L2 victim
+		}
+	}
+	if hit, wb, has := h.L2.Access(a, write); hit {
+		return 2, 0, false
+	} else if has {
+		return 0, wb, true
+	}
+	return 0, 0, false
+}
+
+// FilteredStream adapts a pre-cache reference stream into a post-LLC
+// stream: cache hits are folded into the instruction gap, misses and dirty
+// write-backs are emitted as memory references.
+type FilteredStream struct {
+	src    trace.Stream
+	h      *Hierarchy
+	mapper addr.Mapper
+
+	queued []trace.Ref // pending writebacks
+	gap    int
+}
+
+// NewFilteredStream builds the filter. The mapper translates line addresses
+// to DRAM coordinates for the emitted references.
+func NewFilteredStream(src trace.Stream, h *Hierarchy, mapper addr.Mapper) *FilteredStream {
+	return &FilteredStream{src: src, h: h, mapper: mapper}
+}
+
+// Next produces the next post-LLC reference.
+func (f *FilteredStream) Next() trace.Ref {
+	if len(f.queued) > 0 {
+		r := f.queued[0]
+		f.queued = f.queued[1:]
+		return r
+	}
+	for i := 0; i < 1<<16; i++ {
+		r := f.src.Next()
+		f.gap += r.Gap
+		phys := f.mapper.Encode(r.Addr)
+		level, wb, hasWB := f.h.Access(phys, r.Write)
+		if hasWB {
+			f.queued = append(f.queued, trace.Ref{Write: true, Addr: f.mapper.Decode(wb)})
+		}
+		if level == 0 {
+			out := trace.Ref{Gap: f.gap, Write: r.Write, Addr: r.Addr}
+			f.gap = 0
+			return out
+		}
+		f.gap++ // the hit instruction itself
+	}
+	// Pathologically cache-resident stream: behave like an idle thread.
+	out := trace.Ref{Gap: f.gap + 1<<16}
+	f.gap = 0
+	return out
+}

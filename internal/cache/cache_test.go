@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/dram"
+	"fsmem/internal/trace"
+)
+
+func mustCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func tiny() Config { return Config{SizeBytes: 1024, LineBytes: 64, Ways: 2} } // 8 sets
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	for _, cfg := range []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 0, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{SizeBytes: 3 * 64 * 2, LineBytes: 64, Ways: 2}, // 3 sets: not a power of two
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) should fail", cfg)
+		}
+	}
+	if _, err := New(L1Config()); err != nil {
+		t.Errorf("L1Config should build: %v", err)
+	}
+	if _, err := New(L2Config()); err != nil {
+		t.Errorf("L2Config should build: %v", err)
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := mustCache(t, tiny())
+	if hit, _, _ := c.Access(0x1000, false); hit {
+		t.Fatal("cold cache should miss")
+	}
+	if hit, _, _ := c.Access(0x1000, false); !hit {
+		t.Fatal("second access should hit")
+	}
+	if hit, _, _ := c.Access(0x1004, false); !hit {
+		t.Fatal("same-line access should hit")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustCache(t, tiny()) // 8 sets, 2 ways; stride 512 collides in set 0
+	a := func(i int) uint64 { return uint64(i) * 512 }
+	c.Access(a(1), false)
+	c.Access(a(2), false)
+	c.Access(a(1), false) // touch 1: now 2 is LRU
+	c.Access(a(3), false) // evicts 2
+	if !c.Contains(a(1)) {
+		t.Error("line 1 (MRU) was evicted")
+	}
+	if c.Contains(a(2)) {
+		t.Error("line 2 (LRU) should have been evicted")
+	}
+	if !c.Contains(a(3)) {
+		t.Error("line 3 missing after fill")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := mustCache(t, tiny())
+	a := func(i int) uint64 { return uint64(i) * 512 }
+	c.Access(a(1), true) // dirty
+	c.Access(a(2), false)
+	_, wb, has := c.Access(a(3), false) // evicts dirty line 1
+	if !has {
+		t.Fatal("expected a writeback")
+	}
+	if wb != a(1) {
+		t.Fatalf("writeback addr %#x, want %#x", wb, a(1))
+	}
+	if c.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", c.Writebacks)
+	}
+	// Clean eviction produces none.
+	_, _, has = c.Access(a(4), false)
+	if has {
+		t.Error("clean eviction should not write back")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	l2 := mustCache(t, Config{SizeBytes: 4096, LineBytes: 64, Ways: 4})
+	h, err := NewHierarchy(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl, _, _ := h.Access(0x40, false); lvl != 0 {
+		t.Fatalf("cold access level %d, want 0 (memory)", lvl)
+	}
+	if lvl, _, _ := h.Access(0x40, false); lvl != 1 {
+		t.Fatalf("hot access level %d, want 1", lvl)
+	}
+	// Push the line out of tiny L1 but keep it in L2: walk one L1 set.
+	for i := 1; i <= 2; i++ {
+		h.Access(uint64(0x40+i*32*1024), false) // hmm: L1 is 32KB/2w -> 256 sets, stride 16KB collides
+	}
+	// Access pattern above may or may not evict depending on geometry; use
+	// an explicit collision stride for L1 (sets = 256, line 64 -> 16KB).
+	base := uint64(0x40)
+	h2l2 := mustCache(t, Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 8})
+	h2, _ := NewHierarchy(h2l2)
+	h2.Access(base, false)
+	h2.Access(base+16*1024, false)
+	h2.Access(base+2*16*1024, false) // L1 set now holds the two newer lines
+	if lvl, _, _ := h2.Access(base, false); lvl != 2 {
+		t.Fatalf("L1-evicted line should hit L2, got level %d", lvl)
+	}
+}
+
+func TestFilteredStreamEmitsMissesAndWritebacks(t *testing.T) {
+	p := dram.DDR3_1600()
+	mapper, err := addr.NewMapper(p, addr.RowRankBankCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustCache(t, Config{SizeBytes: 2048, LineBytes: 64, Ways: 2})
+	h, err := NewHierarchy(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A repeating two-line stream: first pass misses, later passes hit.
+	src := &trace.SliceStream{Refs: []trace.Ref{
+		{Gap: 3, Addr: dram.Address{Row: 1, Col: 0}},
+		{Gap: 3, Addr: dram.Address{Row: 1, Col: 1}},
+	}}
+	f := NewFilteredStream(src, h, mapper)
+	r1 := f.Next()
+	if r1.Addr != (dram.Address{Row: 1, Col: 0}) {
+		t.Fatalf("first miss %v", r1.Addr)
+	}
+	r2 := f.Next()
+	if r2.Addr != (dram.Address{Row: 1, Col: 1}) {
+		t.Fatalf("second miss %v", r2.Addr)
+	}
+	// Subsequent passes hit; the filter should eventually return a huge-gap
+	// idle reference rather than spinning forever.
+	r3 := f.Next()
+	if r3.Gap < 1<<15 {
+		t.Fatalf("cache-resident stream should yield an idle ref, got gap %d", r3.Gap)
+	}
+}
+
+// TestCacheInclusionProperty: after any access sequence, an address that
+// just hit must still be resident.
+func TestCacheInclusionProperty(t *testing.T) {
+	c := mustCache(t, tiny())
+	check := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			phys := uint64(a) << 4
+			c.Access(phys, a%3 == 0)
+			if !c.Contains(phys) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsConservation: hits + misses equals total accesses.
+func TestStatsConservation(t *testing.T) {
+	c := mustCache(t, tiny())
+	rng := trace.NewRNG(3)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		c.Access(uint64(rng.Intn(1<<14))&^0x3f, rng.Bool(0.3))
+	}
+	if c.Hits+c.Misses != n {
+		t.Fatalf("hits %d + misses %d != %d", c.Hits, c.Misses, n)
+	}
+	if c.HitRate() <= 0 || c.HitRate() >= 1 {
+		t.Errorf("hit rate %v suspicious for this mix", c.HitRate())
+	}
+}

@@ -1,0 +1,114 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fsmem/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := Default()
+	e.Scheduler = "fs_reordered_bp"
+	e.SLAWeights = []int{2, 1, 1, 1, 1, 1, 1, 1}
+	e.EnergyOpts.SuppressDummies = true
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheduler != e.Scheduler || got.Reads != e.Reads || !got.EnergyOpts.SuppressDummies {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.SLAWeights) != 8 {
+		t.Fatalf("weights lost: %+v", got.SLAWeights)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"workload":"mcf","typo_field":1}`)); err == nil {
+		t.Fatal("unknown field should be rejected")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("bad JSON should be rejected")
+	}
+}
+
+func TestToSimConfig(t *testing.T) {
+	e := Default()
+	cfg, err := e.ToSimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheduler != sim.FSRankPart || len(cfg.Mix.Profiles) != 8 || cfg.TargetReads != 50_000 {
+		t.Fatalf("conversion wrong: %+v", cfg)
+	}
+
+	e.DRAM = "ddr4-2400"
+	cfg, err = e.ToSimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DRAM.BankGroups != 4 {
+		t.Error("DDR4 params not selected")
+	}
+
+	e.Workload = "mix1"
+	cfg, err = e.ToSimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mix.Name != "mix1" || len(cfg.Mix.Profiles) != 8 {
+		t.Error("mix1 not resolved")
+	}
+}
+
+func TestToSimConfigErrors(t *testing.T) {
+	e := Default()
+	e.Scheduler = "nope"
+	if _, err := e.ToSimConfig(); err == nil {
+		t.Error("unknown scheduler should fail")
+	}
+	e = Default()
+	e.DRAM = "ddr5"
+	if _, err := e.ToSimConfig(); err == nil {
+		t.Error("unknown dram should fail")
+	}
+	e = Default()
+	e.Workload = "nope"
+	if _, err := e.ToSimConfig(); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestConfiguredRunExecutes(t *testing.T) {
+	e := Default()
+	e.Reads = 1000
+	cfg, err := e.ToSimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.TotalReads() < 1000 {
+		t.Fatalf("run completed %d reads", res.Run.TotalReads())
+	}
+}
+
+func TestSchedulerNamesSorted(t *testing.T) {
+	names := SchedulerNames()
+	if len(names) != 8 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names unsorted: %v", names)
+		}
+	}
+}

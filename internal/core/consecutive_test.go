@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"fsmem/internal/dram"
+)
+
+// TestConsecutiveNeverBeatsSingle pins the paper's Section 3.1 conclusion:
+// letting each thread inject N consecutive transactions (which saves the
+// rank-to-rank switching delay between them) does NOT yield a more
+// efficient pipeline at the Table 1 timings, because the unconstrained
+// write-then-read order inside a block forces a large intra-thread spacing.
+func TestConsecutiveNeverBeatsSingle(t *testing.T) {
+	p := dram.DDR3_1600()
+	single, err := SolveConsecutive(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.AvgSpacing() != 7 {
+		t.Fatalf("N=1 average spacing %v, want 7", single.AvgSpacing())
+	}
+	for n := 2; n <= 4; n++ {
+		plan, err := SolveConsecutive(n, p)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		t.Logf("%v", plan)
+		if plan.AvgSpacing() < single.AvgSpacing() {
+			t.Errorf("N=%d average spacing %.2f beats the N=1 pipeline (%v) — contradicts §3.1",
+				n, plan.AvgSpacing(), single.AvgSpacing())
+		}
+		if plan.BlockPeriod() != (plan.N-1)*plan.IntraL+plan.InterL {
+			t.Errorf("BlockPeriod inconsistent: %+v", plan)
+		}
+	}
+}
+
+// TestConsecutiveFeasibilityIsSound: the returned plan must actually be
+// feasible, and shrinking either spacing by one must break it (minimality
+// in at least one direction at the found point).
+func TestConsecutiveFeasibilityIsSound(t *testing.T) {
+	p := dram.DDR3_1600()
+	for n := 2; n <= 3; n++ {
+		plan, err := SolveConsecutive(n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !consecutiveFeasible(n, plan.IntraL, plan.InterL, p) {
+			t.Fatalf("N=%d: solver returned an infeasible plan %+v", n, plan)
+		}
+		better := false
+		for intra := p.TBURST; intra <= plan.IntraL; intra++ {
+			for inter := p.TBURST + p.TRTRS; inter <= plan.InterL; inter++ {
+				if intra == plan.IntraL && inter == plan.InterL {
+					continue
+				}
+				if (n-1)*intra+inter < plan.BlockPeriod() && consecutiveFeasible(n, intra, inter, p) {
+					better = true
+				}
+			}
+		}
+		if better {
+			t.Errorf("N=%d: a strictly better plan exists below %+v", n, plan)
+		}
+	}
+}
+
+func TestConsecutiveErrors(t *testing.T) {
+	if _, err := SolveConsecutive(0, dram.DDR3_1600()); err == nil {
+		t.Error("N=0 should error")
+	}
+}

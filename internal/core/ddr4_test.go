@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/dram"
+)
+
+func TestDDR4ParamsValidate(t *testing.T) {
+	p := dram.DDR4_2400()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DDR4_2400 should validate: %v", err)
+	}
+	if p.BankGroup(0) != 0 || p.BankGroup(4) != 1 || p.BankGroup(15) != 3 {
+		t.Errorf("bank-group mapping wrong: %d %d %d", p.BankGroup(0), p.BankGroup(4), p.BankGroup(15))
+	}
+	bad := p
+	bad.TCCDS = p.TCCD + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("tCCD_S > tCCD_L should be rejected")
+	}
+	bad = p
+	bad.BankGroups = 3 // 16 banks don't split into 3
+	if err := bad.Validate(); err == nil {
+		t.Error("uneven bank-group split should be rejected")
+	}
+}
+
+// TestDDR4BankGroupTiming exercises the short/long split directly on the
+// channel: back-to-back CAS across groups at tCCD_S, within a group only
+// at tCCD_L.
+func TestDDR4BankGroupTiming(t *testing.T) {
+	p := dram.DDR4_2400()
+	ch := dram.NewChannel(p)
+	must := func(cmd dram.Command, cyc int64) {
+		t.Helper()
+		if err := ch.Issue(cmd, cyc); err != nil {
+			t.Fatalf("Issue(%v,%d): %v", cmd, cyc, err)
+		}
+	}
+	// ACT to bank 0 (group 0): a same-group ACT at tRRD_S must be rejected
+	// (tRRD_L binds), while a cross-group ACT at tRRD_S is legal.
+	must(dram.Command{Kind: dram.KindActivate, Bank: 0, Row: 1}, 0)
+	if err := ch.CanIssue(dram.Command{Kind: dram.KindActivate, Bank: 1, Row: 1}, int64(p.TRRDS)); err == nil {
+		t.Fatal("same-group ACT at tRRD_S spacing should be rejected")
+	}
+	must(dram.Command{Kind: dram.KindActivate, Bank: 4, Row: 1}, int64(p.TRRDS))
+	must(dram.Command{Kind: dram.KindActivate, Bank: 1, Row: 1}, int64(p.TRRDS)+int64(p.TRRDS))
+
+	c0 := int64(p.TRCD + p.TRRD)
+	must(dram.Command{Kind: dram.KindRead, Bank: 0}, c0)
+	// Same-group CAS at tCCD_S must be rejected (tCCD_L binds)...
+	if err := ch.CanIssue(dram.Command{Kind: dram.KindRead, Bank: 1}, c0+int64(p.TCCDS)); err == nil {
+		t.Fatal("same-group CAS at tCCD_S spacing should be rejected")
+	}
+	// ...while the cross-group read at tCCD_S is legal.
+	must(dram.Command{Kind: dram.KindRead, Bank: 4}, c0+int64(p.TCCDS))
+	must(dram.Command{Kind: dram.KindRead, Bank: 1}, c0+int64(p.TCCDS)+int64(p.TCCDS)) // max(lastCAS+tCCD_S, group0CAS+tCCD_L)
+}
+
+// TestDDR4SolverValues: minimal slot spacings at DDR4-2400 timings, solved
+// with the same machinery as the paper's DDR3 values. The rank-partitioned
+// fixed-periodic-data pipeline is still bus-limited; the bank-partitioned
+// and no-partitioning pipelines stretch with the slower (in cycles)
+// turnarounds.
+func TestDDR4SolverValues(t *testing.T) {
+	p := dram.DDR4_2400()
+	lRank, err := MinL(FixedData, addr.PartitionRank, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data bus limit is tBURST+tRTRS = 6; command-bus offsets differ from
+	// DDR3, so just pin the solved value and its bound.
+	if lRank < p.TBURST+p.TRTRS || lRank > 12 {
+		t.Errorf("DDR4 rank-partitioned l = %d out of expected band", lRank)
+	}
+	lBank, err := MinL(FixedRAS, addr.PartitionBank, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.WriteToReadGap(); lBank != want {
+		t.Errorf("DDR4 bank-partitioned l = %d, want the Wr2Rd turnaround %d", lBank, want)
+	}
+	lNone, err := MinL(FixedRAS, addr.PartitionNone, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.TRCD + p.TCWD + p.TBURST + p.TWR + p.TRP; lNone != want {
+		t.Errorf("DDR4 no-partitioning l = %d, want full recovery %d", lNone, want)
+	}
+	t.Logf("DDR4-2400 minimal l: rank=%d bank=%d none=%d", lRank, lBank, lNone)
+}
+
+// TestRotationRecoversTripleAlternation: on DDR3 (no bank groups), a 3-way
+// rotation solves to the bank-partitioned l=15 — the paper's triple
+// alternation.
+func TestRotationRecoversTripleAlternation(t *testing.T) {
+	p := dram.DDR3_1600()
+	l, err := MinLRotation(3, FixedRAS, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 15 {
+		t.Fatalf("DDR3 3-way rotation l = %d, want 15 (triple alternation)", l)
+	}
+	// 2-way rotation cannot satisfy the same-bank recovery at d=2 any
+	// better; it must be at least ceil(43/2)=22.
+	l2, err := MinLRotation(2, FixedRAS, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 < 22 {
+		t.Errorf("2-way rotation l = %d, want >= 22", l2)
+	}
+}
+
+// TestDDR4RotationBeatsWorstCase: rotating across DDR4's native bank groups
+// exploits the short cross-group timings, beating the same-group worst-case
+// bank-partitioned pipeline — a new design point the framework admits.
+func TestDDR4RotationBeatsWorstCase(t *testing.T) {
+	p := dram.DDR4_2400()
+	worst, err := MinL(FixedRAS, addr.PartitionBank, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := MinLRotation(p.BankGroups, FixedRAS, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("DDR4 bank-partitioned worst-case l=%d, %d-way group rotation l=%d", worst, p.BankGroups, rot)
+	if rot >= worst {
+		t.Errorf("group rotation (l=%d) should beat the same-group worst case (l=%d)", rot, worst)
+	}
+}
+
+// TestFSVariantsConflictFreeOnDDR4: the engine, solved conservatively with
+// the long timings, must drive a DDR4 channel without violations.
+func TestFSVariantsConflictFreeOnDDR4(t *testing.T) {
+	p := dram.DDR4_2400()
+	writes := []bool{false, true, false, false, true, false, true, true}
+	for _, v := range []Variant{FSRankPart, FSBankPart, FSReorderedBank, FSNoPart, FSNoPartTriple} {
+		cmds, fs, err := RecordPipeline(p, Config{Variant: v, Domains: 8, Seed: 21}, writes, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if errs := VerifyPipeline(p, cmds); len(errs) != 0 {
+			t.Fatalf("%v (l=%d, Q=%d): %v", v, fs.L(), fs.Q(), errs[0])
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"fsmem/internal/dram"
+	"fsmem/internal/mem"
+)
+
+// TestWeightedSlotsLayout: §5.1 SLA weights expand the interval and spread
+// a domain's slots round-robin.
+func TestWeightedSlotsLayout(t *testing.T) {
+	p := paperParams()
+	fs, err := NewFS(p, Config{Variant: FSRankPart, Domains: 4, Seed: 1, Weights: []int{2, 1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fs.slotDomains); got != 5 {
+		t.Fatalf("slots = %d, want 5", got)
+	}
+	if fs.Q() != int64(5*fs.L()) {
+		t.Fatalf("Q = %d, want %d", fs.Q(), 5*fs.L())
+	}
+	// Round-robin layout: 0,1,2,3 then the second slot of domain 0.
+	want := []int{0, 1, 2, 3, 0}
+	for i, d := range fs.slotDomains {
+		if d != want[i] {
+			t.Fatalf("slotDomains = %v, want %v", fs.slotDomains, want)
+		}
+	}
+}
+
+func TestWeightedSlotsErrors(t *testing.T) {
+	p := paperParams()
+	if _, err := NewFS(p, Config{Variant: FSRankPart, Domains: 4, Weights: []int{1, 1}}); err == nil {
+		t.Error("weight count mismatch should fail")
+	}
+	if _, err := NewFS(p, Config{Variant: FSRankPart, Domains: 2, Weights: []int{0, 0}}); err == nil {
+		t.Error("zero total weight should fail")
+	}
+	if _, err := NewFS(p, Config{Variant: FSReorderedBank, Domains: 4, Weights: []int{2, 1, 1, 1}}); err == nil {
+		t.Error("weights under reordered BP should fail")
+	}
+	if _, err := NewFS(p, Config{Variant: FSNoPartTriple, Domains: 6, Seed: 1}); err == nil {
+		t.Error("triple alternation with slots % 3 == 0 should fail")
+	}
+}
+
+// TestWeightedSlotsConflictFree: a weighted FS_RP schedule must still pass
+// the independent checker, including the adjacent same-domain slots the
+// rank-level tRRD/tFAW guards protect.
+func TestWeightedSlotsConflictFree(t *testing.T) {
+	p := paperParams()
+	for _, weights := range [][]int{
+		{2, 1, 1, 1},
+		{3, 1, 2, 1},
+		{4, 1, 1, 1},
+	} {
+		writes := []bool{false, true, false, true}
+		cfg := Config{Variant: FSRankPart, Domains: 4, Seed: 3, Weights: weights}
+		cmds, _, err := RecordPipeline(p, cfg, writes, 12)
+		if err != nil {
+			t.Fatalf("%v: %v", weights, err)
+		}
+		if errs := VerifyPipeline(p, cmds); len(errs) != 0 {
+			t.Fatalf("weights %v: %v", weights, errs[0])
+		}
+	}
+}
+
+// TestWeightedSlotsProportionalService: a weight-2 domain must receive about
+// twice the service of weight-1 domains when all are saturated.
+func TestWeightedSlotsProportionalService(t *testing.T) {
+	p := paperParams()
+	fs, err := NewFS(p, Config{Variant: FSRankPart, Domains: 4, Seed: 5, Weights: []int{2, 1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := mem.NewController(p, mem.DefaultConfig(4), fs)
+	row := 0
+	for ctl.Cycle < fs.Q()*200 {
+		for d := 0; d < 4; d++ {
+			space := fs.spaces[d]
+			for len(ctl.ReadQ[d]) < 8 {
+				ctl.EnqueueRead(d, dram.Address{
+					Rank: space.Ranks[row%len(space.Ranks)],
+					Bank: space.Banks[row%len(space.Banks)],
+					Row:  row % p.RowsPerBank,
+				}, nil)
+				row++
+			}
+		}
+		ctl.Tick()
+	}
+	r0 := float64(ctl.Dom[0].Reads)
+	r1 := float64(ctl.Dom[1].Reads)
+	if r1 == 0 || r0/r1 < 1.7 || r0/r1 > 2.3 {
+		t.Fatalf("service ratio %0.2f (reads %v/%v), want ~2.0", r0/r1, r0, r1)
+	}
+}
+
+// TestRefreshAwareFS: refreshes appear at the tREFI rate, the command
+// stream stays legal, and service continues.
+func TestRefreshAwareFS(t *testing.T) {
+	p := paperParams()
+	fs, err := NewFS(p, Config{Variant: FSRankPart, Domains: 8, Seed: 7, RefreshEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := mem.NewController(p, mem.DefaultConfig(8), fs)
+	var cmds []TimedCommand
+	ctl.Chan.OnIssue = func(cmd dram.Command, cyc int64, sup bool) {
+		cmds = append(cmds, TimedCommand{Cycle: cyc, Cmd: cmd, Suppressed: sup})
+	}
+	row := 0
+	total := int64(p.TREFI) * 3
+	for ctl.Cycle < total {
+		for d := 0; d < 8; d++ {
+			for len(ctl.ReadQ[d]) < 4 {
+				ctl.EnqueueRead(d, dram.Address{Rank: d, Bank: row % p.BanksPerRank, Row: row % p.RowsPerBank}, nil)
+				row++
+			}
+		}
+		ctl.Tick()
+	}
+	if errs := VerifyPipeline(p, cmds); len(errs) != 0 {
+		t.Fatalf("refresh-aware pipeline violation: %v", errs[0])
+	}
+	// ~3 refresh windows per rank over 3*tREFI (staggered start).
+	refs := ctl.Chan.Counters.Refreshes
+	if refs < 2*8 || refs > 4*8 {
+		t.Fatalf("refreshes = %d over 3 tREFI windows x 8 ranks, want ~24", refs)
+	}
+	var served int64
+	for d := range ctl.Dom {
+		served += ctl.Dom[d].Reads
+	}
+	if served == 0 {
+		t.Fatal("no reads served with refresh enabled")
+	}
+}
+
+// TestRefreshRequiresRankPartitioning pins the documented restriction.
+func TestRefreshRequiresRankPartitioning(t *testing.T) {
+	p := paperParams()
+	for _, v := range []Variant{FSBankPart, FSNoPart, FSNoPartTriple, FSReorderedBank} {
+		if _, err := NewFS(p, Config{Variant: v, Domains: 8, RefreshEnabled: true}); err == nil {
+			t.Errorf("%v: refresh should be rejected", v)
+		}
+	}
+}
+
+// TestRefreshPreservesNonInterference: with refresh on, a domain's service
+// timing still must not depend on co-runner behavior (refresh windows are
+// time-triggered and per-rank).
+func TestRefreshPreservesNonInterference(t *testing.T) {
+	p := paperParams()
+	run := func(othersBusy bool) []int64 {
+		fs, err := NewFS(p, Config{Variant: FSRankPart, Domains: 8, Seed: 9, RefreshEnabled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl := mem.NewController(p, mem.DefaultConfig(8), fs)
+		var completions []int64
+		rows := make([]int, 8) // per-domain counters: domain 0's address
+		// stream must be identical across both runs
+		for ctl.Cycle < int64(p.TREFI)*2 {
+			for len(ctl.ReadQ[0]) < 4 {
+				ctl.EnqueueRead(0, dram.Address{Rank: 0, Bank: rows[0] % p.BanksPerRank, Row: rows[0] % p.RowsPerBank}, nil)
+				rows[0]++
+			}
+			if othersBusy {
+				for d := 1; d < 8; d++ {
+					for len(ctl.ReadQ[d]) < 4 {
+						ctl.EnqueueRead(d, dram.Address{Rank: d, Bank: rows[d] % p.BanksPerRank, Row: rows[d] % p.RowsPerBank}, nil)
+						rows[d]++
+					}
+				}
+			}
+			ctl.Tick()
+			completions = append(completions, ctl.Dom[0].Reads)
+		}
+		return completions
+	}
+	quiet := run(false)
+	busy := run(true)
+	for i := range quiet {
+		if quiet[i] != busy[i] {
+			t.Fatalf("domain 0 service diverged at cycle %d with refresh enabled", i)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"testing"
+
+	"fsmem/internal/dram"
+	"fsmem/internal/mem"
+)
+
+func paperParams() dram.Params { return dram.DDR3_1600() }
+
+// figure1Pattern is the Figure 1 example: reads and writes from eight
+// threads (ranks R0-R7): RD, WR, RD, RD, RD, RD, WR, WR.
+func figure1Pattern() []bool {
+	return []bool{false, true, false, false, false, false, true, true}
+}
+
+func recordOrFatal(t *testing.T, cfg Config, writes []bool, intervals int) ([]TimedCommand, *FS) {
+	t.Helper()
+	cmds, fs, err := RecordPipeline(paperParams(), cfg, writes, intervals)
+	if err != nil {
+		t.Fatalf("RecordPipeline(%v): %v", cfg.Variant, err)
+	}
+	return cmds, fs
+}
+
+// TestFigure1PipelineConflictFree proves the rank-partitioned pipeline of
+// Figure 1: eight mixed reads/writes to eight ranks complete every 56
+// cycles with no command-bus, data-bus, or timing conflict.
+func TestFigure1PipelineConflictFree(t *testing.T) {
+	cfg := Config{Variant: FSRankPart, Domains: 8, Seed: 1}
+	cmds, fs := recordOrFatal(t, cfg, figure1Pattern(), 20)
+
+	if fs.L() != 7 {
+		t.Fatalf("FS_RP slot spacing = %d, want 7", fs.L())
+	}
+	if fs.Q() != 56 {
+		t.Fatalf("FS_RP Q = %d, want 56 (8 threads x 7)", fs.Q())
+	}
+	if errs := VerifyPipeline(paperParams(), cmds); len(errs) != 0 {
+		t.Fatalf("pipeline violations: %v", errs[:min(3, len(errs))])
+	}
+	if n := CommandBusConflicts(cmds); n != 0 {
+		t.Fatalf("command bus conflicts: %d", n)
+	}
+	// Steady state: exactly 8 transactions (16 commands) per 56-cycle
+	// interval. Count commands in a mid-run window spanning two intervals.
+	from, to := fs.Q()*5, fs.Q()*7
+	n := 0
+	for _, tc := range cmds {
+		if tc.Cycle >= from && tc.Cycle < to {
+			n++
+		}
+	}
+	if n != 2*8*2 {
+		t.Errorf("commands in a 2-interval window = %d, want %d", n, 2*8*2)
+	}
+}
+
+// TestAllVariantsConflictFree drives every FS variant, fully backlogged,
+// under several read/write mixes and requires zero violations from the
+// independent checker — the executable form of the paper's security proof
+// obligation that the pipelines never contend.
+func TestAllVariantsConflictFree(t *testing.T) {
+	patterns := map[string][]bool{
+		"allreads":  {false, false, false, false, false, false, false, false},
+		"allwrites": {true, true, true, true, true, true, true, true},
+		"figure1":   figure1Pattern(),
+		"alternate": {false, true, false, true, false, true, false, true},
+	}
+	for _, v := range []Variant{FSRankPart, FSBankPart, FSReorderedBank, FSNoPart, FSNoPartTriple} {
+		for name, pat := range patterns {
+			t.Run(v.String()+"/"+name, func(t *testing.T) {
+				cfg := Config{Variant: v, Domains: 8, Seed: 7}
+				cmds, _ := recordOrFatal(t, cfg, pat, 12)
+				if len(cmds) == 0 {
+					t.Fatal("no commands issued")
+				}
+				if errs := VerifyPipeline(paperParams(), cmds); len(errs) != 0 {
+					t.Fatalf("%d violations, first: %v", len(errs), errs[0])
+				}
+				if n := CommandBusConflicts(cmds); n != 0 {
+					t.Fatalf("command bus conflicts: %d", n)
+				}
+			})
+		}
+	}
+}
+
+// TestVariantIntervalLengths pins Q for the paper's 8-thread design points.
+func TestVariantIntervalLengths(t *testing.T) {
+	want := map[Variant]int64{
+		FSRankPart:      56,  // §3.1
+		FSBankPart:      120, // §4.2: "Q is 120 memory cycles"
+		FSReorderedBank: 63,  // §4.2: "The value of Q is therefore 63 cycles"
+		FSNoPart:        344, // §4.3: "an interval length of 344 memory cycles"
+		FSNoPartTriple:  360, // §4.3: "in 360 memory cycles, every thread is guaranteed service"
+	}
+	for v, q := range want {
+		fs, err := NewFS(paperParams(), Config{Variant: v, Domains: 8, Seed: 1})
+		if err != nil {
+			t.Fatalf("NewFS(%v): %v", v, err)
+		}
+		if fs.Q() != q {
+			t.Errorf("%v: Q = %d, want %d", v, fs.Q(), q)
+		}
+	}
+}
+
+// TestPeakBandwidth checks the theoretical peak data-bus utilizations the
+// paper quotes: 57% (FS_RP), 51% (reordered BP), 27% (BP and triple
+// alternation), 9% (basic NP).
+func TestPeakBandwidth(t *testing.T) {
+	p := paperParams()
+	cases := []struct {
+		v        Variant
+		transfer int64 // data cycles per interval
+		lo, hi   float64
+	}{
+		{FSRankPart, 8 * 4, 0.56, 0.58},
+		{FSReorderedBank, 8 * 4, 0.50, 0.52},
+		{FSBankPart, 8 * 4, 0.26, 0.28},
+		{FSNoPartTriple, 3 * 8 * 4, 0.26, 0.28},
+		{FSNoPart, 8 * 4, 0.09, 0.10},
+	}
+	for _, c := range cases {
+		fs, err := NewFS(p, Config{Variant: c.v, Domains: 8, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		util := float64(c.transfer) / float64(fs.Q())
+		if util < c.lo || util > c.hi {
+			t.Errorf("%v: peak utilization %.3f outside [%.2f, %.2f]", c.v, util, c.lo, c.hi)
+		}
+	}
+}
+
+// TestTripleAlternationGroups verifies the bank-group rotation: consecutive
+// slots never share a group, and a domain's group rotates across the three
+// subintervals.
+func TestTripleAlternationGroups(t *testing.T) {
+	fs, err := NewFS(paperParams(), Config{Variant: FSNoPartTriple, Domains: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(0); s < 3*8*4; s++ {
+		g1 := fs.slotBankGroup(s)
+		g2 := fs.slotBankGroup(s + 1)
+		if g1 < 0 || g1 > 2 {
+			t.Fatalf("slot %d: group %d out of range", s, g1)
+		}
+		if g1 == g2 {
+			t.Fatalf("slots %d and %d share bank group %d", s, s+1, g1)
+		}
+	}
+	// A domain must see all three groups across the three subintervals.
+	seen := map[int]bool{}
+	for sub := int64(0); sub < 3; sub++ {
+		seen[fs.slotBankGroup(sub*8+3)] = true // domain 3
+	}
+	if len(seen) != 3 {
+		t.Errorf("domain 3 saw groups %v, want all three", seen)
+	}
+}
+
+// TestTripleAlternationCommandsRespectGroups re-runs the engine and checks
+// every issued transaction lands in its slot's bank group.
+func TestTripleAlternationCommandsRespectGroups(t *testing.T) {
+	cfg := Config{Variant: FSNoPartTriple, Domains: 8, Seed: 3}
+	cmds, fs := recordOrFatal(t, cfg, figure1Pattern(), 6)
+	l := int64(fs.L())
+	for _, tc := range cmds {
+		if tc.Cmd.Kind != dram.KindActivate {
+			continue
+		}
+		slot := (tc.Cycle - fs.anchor0) / l
+		if (tc.Cycle-fs.anchor0)%l != 0 {
+			t.Fatalf("ACT at %d is off the slot grid (l=%d)", tc.Cycle, l)
+		}
+		want := fs.slotBankGroup(slot)
+		if tc.Cmd.Bank%3 != want {
+			t.Fatalf("slot %d: bank %d not in group %d", slot, tc.Cmd.Bank, want)
+		}
+	}
+}
+
+// TestDummiesFillIdleSlots: with empty queues, the engine still issues one
+// transaction per slot (dummies), keeping the advertised pattern constant.
+func TestDummiesFillIdleSlots(t *testing.T) {
+	p := paperParams()
+	fs, err := NewFS(p, Config{Variant: FSRankPart, Domains: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := mem.NewController(p, mem.DefaultConfig(8), fs)
+	var n int
+	from, to := fs.Q()*2, fs.Q()*8
+	ctl.Chan.OnIssue = func(_ dram.Command, cyc int64, _ bool) {
+		if cyc >= from && cyc < to {
+			n++
+		}
+	}
+	for ctl.Cycle < fs.Q()*10 {
+		ctl.Tick()
+	}
+	if want := int(6 * 8 * 2); n != want {
+		t.Errorf("idle engine issued %d commands in a 6-interval window, want %d", n, want)
+	}
+	var dummies int64
+	for d := range ctl.Dom {
+		dummies += ctl.Dom[d].Dummies
+	}
+	if dummies < 8*8 {
+		t.Errorf("dummies = %d, want at least %d", dummies, 8*8)
+	}
+}
+
+// TestSuppressedDummiesKeepGrid: energy optimization 1 must not change the
+// command grid, only the suppressed flags.
+func TestSuppressedDummiesKeepGrid(t *testing.T) {
+	p := paperParams()
+	run := func(suppress bool) []TimedCommand {
+		fs, err := NewFS(p, Config{Variant: FSRankPart, Domains: 8, Seed: 11,
+			Energy: EnergyOpts{SuppressDummies: suppress}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl := mem.NewController(p, mem.DefaultConfig(8), fs)
+		var cmds []TimedCommand
+		ctl.Chan.OnIssue = func(cmd dram.Command, cyc int64, sup bool) {
+			cmds = append(cmds, TimedCommand{Cycle: cyc, Cmd: cmd, Suppressed: sup})
+		}
+		for ctl.Cycle < fs.Q()*6 {
+			ctl.Tick()
+		}
+		return cmds
+	}
+	plain := run(false)
+	supp := run(true)
+	if len(plain) != len(supp) {
+		t.Fatalf("command counts differ: %d vs %d", len(plain), len(supp))
+	}
+	for i := range plain {
+		if plain[i].Cycle != supp[i].Cycle || plain[i].Cmd != supp[i].Cmd {
+			t.Fatalf("grid differs at %d: %v vs %v", i, plain[i], supp[i])
+		}
+		if !supp[i].Suppressed {
+			t.Errorf("command %d not suppressed on an idle engine", i)
+		}
+	}
+}
+
+// TestSmallRankCountHazard: with 4 domains/ranks under FS_RP, Q = 28 < 43,
+// so back-to-back same-bank transactions are a real hazard; the engine must
+// still produce a conflict-free schedule (by steering to other banks or
+// inserting dummies).
+func TestSmallRankCountHazard(t *testing.T) {
+	p := paperParams()
+	for _, domains := range []int{2, 4, 6} {
+		writes := make([]bool, domains)
+		for i := range writes {
+			writes[i] = i%2 == 1
+		}
+		cfg := Config{Variant: FSRankPart, Domains: domains, Seed: 5}
+		cmds, fs, err := RecordPipeline(p, cfg, writes, 16)
+		if err != nil {
+			t.Fatalf("domains=%d: %v", domains, err)
+		}
+		if errs := VerifyPipeline(p, cmds); len(errs) != 0 {
+			t.Fatalf("domains=%d (Q=%d): violations: %v", domains, fs.Q(), errs[0])
+		}
+	}
+}
+
+// TestReorderedReadsReleaseEnMasse: all reads of an interval complete at
+// the same cycle, which is what prevents read/write-ratio leakage (§4.2).
+func TestReorderedReadsReleaseEnMasse(t *testing.T) {
+	p := paperParams()
+	fs, err := NewFS(p, Config{Variant: FSReorderedBank, Domains: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := mem.NewController(p, mem.DefaultConfig(8), fs)
+	release := map[int]int64{}
+	for d := 0; d < 8; d++ {
+		d := d
+		space := fs.spaces[d]
+		ctl.EnqueueRead(d, dram.Address{Rank: 0, Bank: space.Banks[0], Row: d}, func() {
+			release[d] = ctl.Cycle
+		})
+	}
+	for ctl.Cycle < fs.Q()*3 {
+		ctl.Tick()
+	}
+	if len(release) != 8 {
+		t.Fatalf("only %d of 8 reads completed", len(release))
+	}
+	first := release[0]
+	for d, c := range release {
+		if c != first {
+			t.Fatalf("read releases differ: domain 0 at %d, domain %d at %d", first, d, c)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPipelinePropertyRandomMixes: for arbitrary read/write assignments,
+// every variant's pipeline must verify conflict-free. This is the
+// quick-check form of the paper's claim that the schedule is safe for ANY
+// combination of reads and writes ("any combination of reads and writes to
+// eight different ranks can be accommodated").
+func TestPipelinePropertyRandomMixes(t *testing.T) {
+	p := paperParams()
+	for _, v := range []Variant{FSRankPart, FSBankPart, FSReorderedBank, FSNoPartTriple} {
+		v := v
+		check := func(pattern uint8, seed uint16) bool {
+			writes := make([]bool, 8)
+			for i := range writes {
+				writes[i] = pattern&(1<<i) != 0
+			}
+			cmds, _, err := RecordPipeline(p, Config{Variant: v, Domains: 8, Seed: uint64(seed) + 1}, writes, 6)
+			if err != nil {
+				return false
+			}
+			return len(VerifyPipeline(p, cmds)) == 0 && CommandBusConflicts(cmds) == 0
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%v: %v", v, err)
+		}
+	}
+}
+
+// TestPipelinePropertyRandomWeights: arbitrary small SLA weight vectors
+// keep the rank-partitioned pipeline legal.
+func TestPipelinePropertyRandomWeights(t *testing.T) {
+	p := paperParams()
+	check := func(w0, w1, w2, w3 uint8, pattern uint8) bool {
+		weights := []int{int(w0%3) + 1, int(w1%3) + 1, int(w2%3) + 1, int(w3%3) + 1}
+		writes := make([]bool, 4)
+		for i := range writes {
+			writes[i] = pattern&(1<<i) != 0
+		}
+		cmds, _, err := RecordPipeline(p, Config{Variant: FSRankPart, Domains: 4, Seed: 9, Weights: weights}, writes, 8)
+		if err != nil {
+			return false
+		}
+		return len(VerifyPipeline(p, cmds)) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPipelinePropertyDomainCounts: the rank-partitioned pipeline stays
+// legal for every domain count that fits the rank budget, including the
+// hazardous small counts.
+func TestPipelinePropertyDomainCounts(t *testing.T) {
+	p := paperParams()
+	for domains := 1; domains <= 8; domains *= 2 {
+		writes := make([]bool, domains)
+		for i := range writes {
+			writes[i] = i%2 == 0
+		}
+		cmds, fs, err := RecordPipeline(p, Config{Variant: FSRankPart, Domains: domains, Seed: 4}, writes, 10)
+		if err != nil {
+			t.Fatalf("domains=%d: %v", domains, err)
+		}
+		if errs := VerifyPipeline(p, cmds); len(errs) != 0 {
+			t.Errorf("domains=%d (Q=%d): %v", domains, fs.Q(), errs[0])
+		}
+	}
+}
+
+// TestScheduleIsSlotPure: the command grid of an FS variant depends only on
+// (variant, domains, weights) — never on the request contents. Two runs
+// with opposite read/write mixes must use exactly the same set of ACT
+// cycles (ACT offsets differ between reads and writes only under fixed
+// periodic data, where the slot anchor set is still identical).
+func TestScheduleIsSlotPure(t *testing.T) {
+	p := paperParams()
+	anchorSet := func(writes []bool) map[int64]bool {
+		cmds, fs, err := RecordPipeline(p, Config{Variant: FSBankPart, Domains: 8, Seed: 2}, writes, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fixed periodic RAS: the ACT cycle IS the slot anchor.
+		set := map[int64]bool{}
+		for _, tc := range cmds {
+			if tc.Cmd.Kind.String() == "ACT" {
+				set[(tc.Cycle-fs.anchor0)%int64(fs.L())] = true
+				if (tc.Cycle-fs.anchor0)%int64(fs.L()) != 0 {
+					t.Fatalf("ACT off the slot grid at %d", tc.Cycle)
+				}
+				set[tc.Cycle] = true
+			}
+		}
+		return set
+	}
+	allReads := anchorSet(make([]bool, 8))
+	allWrites := anchorSet([]bool{true, true, true, true, true, true, true, true})
+	if len(allReads) != len(allWrites) {
+		t.Fatalf("anchor sets differ in size: %d vs %d", len(allReads), len(allWrites))
+	}
+	for a := range allReads {
+		if !allWrites[a] {
+			t.Fatalf("ACT anchor %d present for reads but not writes", a)
+		}
+	}
+}

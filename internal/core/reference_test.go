@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"fsmem/internal/dram"
+)
+
+// TestPipelinesPassReferenceChecker replays each FS variant's command
+// stream through the brute-force ReferenceChecker — an implementation of
+// the DDR timing rules written independently of the Channel the engine
+// already validates against. Two independent validators agreeing on zero
+// violations is the strongest conflict-freedom evidence the repository
+// produces.
+func TestPipelinesPassReferenceChecker(t *testing.T) {
+	for _, p := range []dram.Params{dram.DDR3_1600(), dram.DDR4_2400()} {
+		p := p
+		for _, v := range []Variant{FSRankPart, FSBankPart, FSReorderedBank, FSNoPart, FSNoPartTriple} {
+			writes := []bool{false, true, false, false, true, false, true, true}
+			cmds, fs, err := RecordPipeline(p, Config{Variant: v, Domains: 8, Seed: 31}, writes, 5)
+			if err != nil {
+				t.Fatalf("%v: %v", v, err)
+			}
+			ref := dram.NewReferenceChecker(p)
+			for i, tc := range cmds {
+				if err := ref.Check(tc.Cmd, tc.Cycle); err != nil {
+					t.Fatalf("%v (groups=%d, l=%d): command %d: %v", v, p.BankGroups, fs.L(), i, err)
+				}
+				ref.Apply(tc.Cmd, tc.Cycle)
+			}
+		}
+	}
+}

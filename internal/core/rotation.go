@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"fsmem/internal/dram"
+)
+
+// Group-rotation solving generalizes the paper's triple alternation: if the
+// schedule guarantees that slots d apart target the same bank (group) only
+// when d is a multiple of G, then only every G-th pair pays the same-bank
+// recovery penalty, and the other pairs pay the cross-group (DDR4 "short")
+// timings. Triple alternation is the special case G=3 on DDR3, where the
+// short and long timings coincide and the cross-group constraint set is
+// the bank-partitioned one.
+
+// FeasibleRotation reports whether slot spacing l is conflict-free for a
+// G-way group rotation with no spatial partitioning: pairs at distance
+// d % G != 0 are bank-group-disjoint (short timings), pairs at multiples
+// of G may reuse the same bank and need full precharge recovery.
+func FeasibleRotation(l, groups int, a Anchor, p dram.Params) (bool, string) {
+	if groups < 2 {
+		return false, "rotation needs at least 2 groups"
+	}
+	o := OffsetsFor(a, p)
+	types := []bool{false, true}
+	for d := 1; d <= solveWindow; d++ {
+		dl := d * l
+		sameGroup := d%groups == 0
+		for _, earlier := range types {
+			for _, later := range types {
+				// Command bus.
+				for _, offL := range []int{o.act(later), o.cas(later)} {
+					for _, offE := range []int{o.act(earlier), o.cas(earlier)} {
+						if dl+offL == offE {
+							return false, fmt.Sprintf("command bus collision (d=%d)", d)
+						}
+					}
+				}
+				// Data bus (worst case: different ranks).
+				sep := p.TBURST + p.TRTRS
+				gap := dl + o.data(later) - o.data(earlier)
+				if gap < 0 {
+					gap = -gap
+				}
+				if gap < sep {
+					return false, fmt.Sprintf("data bus (d=%d: gap %d < %d)", d, gap, sep)
+				}
+
+				// Same-rank constraints, long or short per group distance.
+				rrd, ccd, wtr := p.RRDOther(), p.CCDOther(), p.WTROther()
+				if sameGroup {
+					rrd, ccd, wtr = p.RRDSame(), p.CCDSame(), p.WTRSame()
+				}
+				if g := dl + o.act(later) - o.act(earlier); d == 1 && g < rrd {
+					return false, fmt.Sprintf("tRRD (d=%d: %d < %d)", d, g, rrd)
+				}
+				if g := dl + o.act(later) - o.act(earlier); d == 4 && g < p.TFAW {
+					return false, fmt.Sprintf("tFAW (d=%d: %d < %d)", d, g, p.TFAW)
+				}
+				if g := dl + o.cas(later) - o.cas(earlier); g < ccd {
+					return false, fmt.Sprintf("tCCD (d=%d: %d < %d)", d, g, ccd)
+				}
+				if earlier && !later {
+					if g := dl + o.cas(later) - o.cas(earlier); g < p.TCWD+p.TBURST+wtr {
+						return false, fmt.Sprintf("tWTR (d=%d: %d < %d)", d, g, p.TCWD+p.TBURST+wtr)
+					}
+				}
+				if !earlier && later {
+					if g := dl + o.cas(later) - o.cas(earlier); g < p.ReadToWriteGap() {
+						return false, fmt.Sprintf("Rd2Wr (d=%d: %d < %d)", d, g, p.ReadToWriteGap())
+					}
+				}
+				if !sameGroup {
+					continue
+				}
+				// Same bank possible: tRC and full precharge recovery.
+				if g := dl + o.act(later) - o.act(earlier); g < p.TRC {
+					return false, fmt.Sprintf("tRC (d=%d: %d < %d)", d, g, p.TRC)
+				}
+				preStart := o.act(earlier) + p.TRAS
+				if earlier {
+					if s := o.data(earlier) + p.TBURST + p.TWR; s > preStart {
+						preStart = s
+					}
+				} else {
+					if s := o.cas(earlier) + p.TRTP; s > preStart {
+						preStart = s
+					}
+				}
+				if g := dl + o.act(later); g < preStart+p.TRP {
+					return false, fmt.Sprintf("precharge recovery (d=%d: %d < %d)", d, g, preStart+p.TRP)
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// MinLRotation computes the smallest slot spacing for a G-way rotation.
+// For DDR3 at G=3 this recovers the paper's triple-alternation l=15; for
+// DDR4's native bank groups the short cross-group timings shrink it
+// further — a new design point the paper's framework admits.
+func MinLRotation(groups int, a Anchor, p dram.Params) (int, error) {
+	const maxL = 512
+	for l := p.TBURST; l <= maxL; l++ {
+		if ok, _ := FeasibleRotation(l, groups, a, p); ok {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no feasible rotation l <= %d for G=%d/%v", maxL, groups, a)
+}
+
+// ReorderedSlotSpacing solves the data-slot spacing of the reordered
+// bank-partitioned pipeline (§4.2): reads are scheduled before writes on a
+// uniform data grid, so only the (R,R), (R then W), and (W,W) orders occur
+// inside an interval, plus the write-to-read boundary into the next
+// interval. On DDR3-1600 this yields the paper's 6-cycle slots; other
+// parts (e.g. DDR4 with its different command offsets) need a different
+// spacing, which is why it is solved rather than assumed.
+func ReorderedSlotSpacing(p dram.Params, domains int) (int, error) {
+	o := OffsetsFor(FixedData, p)
+	const maxS = 64
+	for s := p.TBURST + p.TRTRS; s <= maxS; s++ {
+		if reorderedFeasible(s, domains, o, p) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no feasible reordered slot spacing <= %d", maxS)
+}
+
+func reorderedFeasible(s, domains int, o Offsets, p dram.Params) bool {
+	// orders lists the (earlier, later) type pairs that can occur within an
+	// interval: reads always precede writes.
+	orders := [][2]bool{{false, false}, {false, true}, {true, true}}
+	checkPair := func(gap int, earlier, later bool) bool {
+		// Command bus.
+		for _, offL := range []int{o.act(later), o.cas(later)} {
+			for _, offE := range []int{o.act(earlier), o.cas(earlier)} {
+				if gap+offL == offE {
+					return false
+				}
+			}
+		}
+		// Data bus, worst case cross-rank.
+		dg := gap + o.data(later) - o.data(earlier)
+		if dg < 0 {
+			dg = -dg
+		}
+		if dg < p.TBURST+p.TRTRS {
+			return false
+		}
+		// Same-rank worst case (bank partitioning can put every domain's
+		// bank in one rank); bank groups are not guaranteed distinct, so
+		// the long timings apply.
+		if g := gap + o.act(later) - o.act(earlier); g < p.RRDSame() {
+			return false
+		}
+		if g := gap + o.cas(later) - o.cas(earlier); g < p.CCDSame() {
+			return false
+		}
+		if !earlier && later { // read then write
+			if g := gap + o.cas(later) - o.cas(earlier); g < p.ReadToWriteGap() {
+				return false
+			}
+		}
+		if earlier && !later { // write then read (interval boundary only)
+			if g := gap + o.cas(later) - o.cas(earlier); g < p.WriteToReadGap() {
+				return false
+			}
+		}
+		return true
+	}
+	for d := 1; d <= solveWindow; d++ {
+		for _, ord := range orders {
+			if !checkPair(d*s, ord[0], ord[1]) {
+				return false
+			}
+		}
+		// tFAW on the uniform ACT grid.
+		if d == 4 {
+			for _, ord := range orders {
+				if g := d*s + o.act(ord[1]) - o.act(ord[0]); g < p.TFAW {
+					return false
+				}
+			}
+		}
+	}
+	// Interval boundary: the last write of interval i against the first
+	// reads of interval i+1, at distance Q - (domains-1)*s.
+	boundary := s + p.WriteToReadGap()
+	for d := 0; d < solveWindow && d < domains; d++ {
+		if !checkPair(boundary+d*s, true, false) {
+			return false
+		}
+		if !checkPair(boundary+d*s, true, true) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/dram"
+)
+
+func TestRenderDiagramShowsFigure1Shape(t *testing.T) {
+	p := paperParams()
+	cmds, fs, err := RecordPipeline(p, Config{Variant: FSRankPart, Domains: 8, Seed: 1}, figure1Pattern(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderDiagram(p, cmds, fs.Q(), fs.Q()*2)
+	for _, lane := range []string{"ACT", "COL-RD", "COL-WR", "DATA"} {
+		if !strings.Contains(out, lane) {
+			t.Fatalf("diagram missing lane %q:\n%s", lane, out)
+		}
+	}
+	// The data lane must show 8 four-cycle bursts in one 56-cycle interval:
+	// 32 occupied columns.
+	lines := strings.Split(out, "\n")
+	var dataLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "DATA") {
+			dataLine = l
+		}
+	}
+	occupied := 0
+	for _, ch := range dataLine {
+		if ch >= '0' && ch <= '9' {
+			occupied++
+		}
+	}
+	if occupied != 32 {
+		t.Fatalf("data lane occupies %d cycles per interval, want 32:\n%s", occupied, out)
+	}
+	if RenderDiagram(p, cmds, 10, 10) != "" {
+		t.Error("empty window should render empty")
+	}
+}
+
+func TestCommandBusConflictsDetects(t *testing.T) {
+	cmds := []TimedCommand{
+		{Cycle: 5, Cmd: dram.Command{Kind: dram.KindActivate}},
+		{Cycle: 5, Cmd: dram.Command{Kind: dram.KindRead}},
+		{Cycle: 6, Cmd: dram.Command{Kind: dram.KindRead}},
+	}
+	if got := CommandBusConflicts(cmds); got != 1 {
+		t.Fatalf("conflicts = %d, want 1", got)
+	}
+	if got := CommandBusConflicts(cmds[2:]); got != 0 {
+		t.Fatalf("conflicts = %d, want 0", got)
+	}
+}
+
+func TestRecordPipelineRejectsBadPattern(t *testing.T) {
+	p := paperParams()
+	if _, _, err := RecordPipeline(p, Config{Variant: FSRankPart, Domains: 8, Seed: 1}, []bool{true}, 2); err == nil {
+		t.Fatal("pattern length mismatch should fail")
+	}
+}
+
+func TestSolverTableComplete(t *testing.T) {
+	table := SolverTable(paperParams())
+	if len(table) != 9 {
+		t.Fatalf("table has %d entries, want 9 (3 modes x 3 anchors)", len(table))
+	}
+	for k, v := range table {
+		if v <= 0 {
+			t.Errorf("%s: l = %d", k, v)
+		}
+	}
+	if table["rank/fixed-periodic-data"] != 7 {
+		t.Errorf("table[rank/fixed-periodic-data] = %d", table["rank/fixed-periodic-data"])
+	}
+}
+
+func TestVariantMetadata(t *testing.T) {
+	for _, v := range []Variant{FSRankPart, FSBankPart, FSReorderedBank, FSNoPart, FSNoPartTriple} {
+		if v.String() == "" || strings.Contains(v.String(), "Variant(") {
+			t.Errorf("variant %d has no name", v)
+		}
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant should still format")
+	}
+	if FSRankPart.PartitionKind() != addr.PartitionRank ||
+		FSBankPart.PartitionKind() != addr.PartitionBank ||
+		FSNoPart.PartitionKind() != addr.PartitionNone {
+		t.Error("partition kinds wrong")
+	}
+	if FSRankPart.Anchor() != FixedData || FSBankPart.Anchor() != FixedRAS {
+		t.Error("anchors wrong")
+	}
+}

@@ -1,0 +1,284 @@
+// Package core implements the paper's contribution: the Fixed Service (FS)
+// memory controller family. It contains
+//
+//   - the constraint solver that generalizes Equations 1-4 — given the DRAM
+//     timing parameters, a fixed-periodic anchor (data, RAS, or CAS), and a
+//     spatial-partitioning mode, it computes the minimum slot spacing l for
+//     which the static command pipeline is provably conflict-free;
+//   - the static pipeline construction (slot grids, command offsets, the
+//     triple-alternation bank-group rotation, and the reordered
+//     bank-partitioned read/write schedule); and
+//   - the FS transaction scheduler that shapes every security domain to one
+//     transaction per interval, inserting dummy or prefetch operations in
+//     unused slots, with the paper's three energy optimizations.
+package core
+
+import (
+	"fmt"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/dram"
+)
+
+// Anchor selects which event of a transaction sits on the fixed periodic
+// grid (Section 3: "fixed periodic data", "fixed periodic RAS", "fixed
+// periodic CAS").
+type Anchor int
+
+const (
+	// FixedData anchors the start of the data burst at k*l.
+	FixedData Anchor = iota
+	// FixedRAS anchors the Activate at k*l.
+	FixedRAS
+	// FixedCAS anchors the column command at k*l.
+	FixedCAS
+)
+
+// String names the anchor.
+func (a Anchor) String() string {
+	switch a {
+	case FixedData:
+		return "fixed-periodic-data"
+	case FixedRAS:
+		return "fixed-periodic-RAS"
+	case FixedCAS:
+		return "fixed-periodic-CAS"
+	default:
+		return fmt.Sprintf("Anchor(%d)", int(a))
+	}
+}
+
+// Offsets are the command and data times of one transaction relative to
+// its slot anchor, for reads and writes.
+type Offsets struct {
+	ReadACT, ReadCAS, ReadData    int
+	WriteACT, WriteCAS, WriteData int
+}
+
+// OffsetsFor derives the command offsets for an anchor from the timing
+// parameters. For the paper's DDR3-1600 numbers and FixedData these are the
+// values in Section 3: ACT at kl-22 / kl-16 and CAS at kl-11 / kl-5 for
+// reads / writes.
+func OffsetsFor(a Anchor, p dram.Params) Offsets {
+	switch a {
+	case FixedData:
+		return Offsets{
+			ReadACT: -p.TCAS - p.TRCD, ReadCAS: -p.TCAS, ReadData: 0,
+			WriteACT: -p.TCWD - p.TRCD, WriteCAS: -p.TCWD, WriteData: 0,
+		}
+	case FixedCAS:
+		return Offsets{
+			ReadACT: -p.TRCD, ReadCAS: 0, ReadData: p.TCAS,
+			WriteACT: -p.TRCD, WriteCAS: 0, WriteData: p.TCWD,
+		}
+	default: // FixedRAS
+		return Offsets{
+			ReadACT: 0, ReadCAS: p.TRCD, ReadData: p.TRCD + p.TCAS,
+			WriteACT: 0, WriteCAS: p.TRCD, WriteData: p.TRCD + p.TCWD,
+		}
+	}
+}
+
+// act/cas/data pick the offset for a transaction type.
+func (o Offsets) act(write bool) int {
+	if write {
+		return o.WriteACT
+	}
+	return o.ReadACT
+}
+func (o Offsets) cas(write bool) int {
+	if write {
+		return o.WriteCAS
+	}
+	return o.ReadCAS
+}
+func (o Offsets) data(write bool) int {
+	if write {
+		return o.WriteData
+	}
+	return o.ReadData
+}
+
+// MinOffset returns the earliest command offset (used to place the slot
+// grid so no command is scheduled before cycle zero).
+func (o Offsets) MinOffset() int {
+	min := o.ReadACT
+	for _, v := range []int{o.ReadCAS, o.WriteACT, o.WriteCAS} {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Constraint records one inequality the solver checked, for reporting.
+type Constraint struct {
+	Name string // e.g. "tWTR (W then R, d=1)"
+	MinL int    // the slot spacing this constraint alone requires (0 if it is an inequality on products)
+}
+
+// solveWindow is how many slot distances d = k-k' the solver examines.
+// Command offsets and timing windows are all far below window*l for any
+// feasible l, so 8 covers every binding pair.
+const solveWindow = 8
+
+// Feasible reports whether slot spacing l yields a conflict-free pipeline
+// for the anchor and partitioning mode, and if not, which constraint fails.
+//
+// The check enumerates, for every slot distance d in [1, solveWindow] and
+// every (earlier, later) transaction type pair in {read, write}^2:
+//
+//   - command-bus uniqueness (the paper's Equation 1): no two commands of
+//     different transactions may occupy the same cycle;
+//   - data-bus separation: bursts must not overlap, with tRTRS between
+//     transfers worst-case assumed to be on different ranks;
+//   - under bank partitioning (same rank worst case, Equations 2-4): tRRD,
+//     tFAW, tCCD, and the write-to-read / read-to-write turnarounds;
+//   - under no partitioning (same bank worst case): tRC and full
+//     precharge recovery (the write-then-read case that forces l=43).
+func Feasible(l int, a Anchor, mode addr.PartitionKind, p dram.Params) (bool, string) {
+	o := OffsetsFor(a, p)
+	types := []bool{false, true} // read, write
+
+	for d := 1; d <= solveWindow; d++ {
+		dl := d * l
+		for _, earlier := range types {
+			for _, later := range types {
+				// Command bus: later commands at dl+off must not collide
+				// with earlier commands at off'.
+				for _, offL := range []int{o.act(later), o.cas(later)} {
+					for _, offE := range []int{o.act(earlier), o.cas(earlier)} {
+						if dl+offL == offE {
+							return false, fmt.Sprintf("command bus collision (d=%d, %s/%s)", d, typeName(earlier), typeName(later))
+						}
+					}
+				}
+
+				// Data bus: bursts [start, start+tBURST) must be disjoint
+				// with tRTRS margin (worst case: different ranks). The gap
+				// may be negative when a later write's short tCWD puts its
+				// burst before an earlier read's; separation must hold in
+				// whichever order the bursts land.
+				sep := p.TBURST + p.TRTRS
+				gap := dl + o.data(later) - o.data(earlier)
+				if gap < 0 {
+					gap = -gap
+				}
+				if gap < sep {
+					return false, fmt.Sprintf("data bus (d=%d, %s then %s: gap %d < %d)", d, typeName(earlier), typeName(later), gap, sep)
+				}
+
+				if mode == addr.PartitionRank || mode == addr.PartitionChannel {
+					continue // disjoint ranks: only buses are shared
+				}
+
+				// Same rank worst case (bank partitioning).
+				if g := dl + o.act(later) - o.act(earlier); d == 1 && g < p.TRRD {
+					return false, fmt.Sprintf("tRRD (d=1, %s/%s: gap %d < %d)", typeName(earlier), typeName(later), g, p.TRRD)
+				}
+				if g := dl + o.act(later) - o.act(earlier); d == 4 && g < p.TFAW {
+					return false, fmt.Sprintf("tFAW (d=4, %s/%s: gap %d < %d)", typeName(earlier), typeName(later), g, p.TFAW)
+				}
+				if g := dl + o.cas(later) - o.cas(earlier); g < p.TCCD {
+					return false, fmt.Sprintf("tCCD (d=%d: gap %d < %d)", d, g, p.TCCD)
+				}
+				if earlier && !later { // write then read: tWTR from write data end
+					g := dl + o.cas(later) - o.cas(earlier)
+					if g < p.WriteToReadGap() {
+						return false, fmt.Sprintf("tWTR (d=%d: CAS gap %d < %d)", d, g, p.WriteToReadGap())
+					}
+				}
+				if !earlier && later { // read then write: data-bus turnaround
+					g := dl + o.cas(later) - o.cas(earlier)
+					if g < p.ReadToWriteGap() {
+						return false, fmt.Sprintf("Rd2Wr (d=%d: CAS gap %d < %d)", d, g, p.ReadToWriteGap())
+					}
+				}
+
+				if mode != addr.PartitionNone {
+					continue
+				}
+
+				// Same bank worst case (no partitioning): the later ACT must
+				// wait for the earlier transaction's full auto-precharge.
+				if g := dl + o.act(later) - o.act(earlier); g < p.TRC {
+					return false, fmt.Sprintf("tRC (d=%d: ACT gap %d < %d)", d, g, p.TRC)
+				}
+				preStart := o.act(earlier) + p.TRAS
+				if earlier { // write: precharge after write recovery
+					if s := o.data(earlier) + p.TBURST + p.TWR; s > preStart {
+						preStart = s
+					}
+				} else { // read: precharge after tRTP
+					if s := o.cas(earlier) + p.TRTP; s > preStart {
+						preStart = s
+					}
+				}
+				if g := dl + o.act(later); g < preStart+p.TRP {
+					return false, fmt.Sprintf("precharge recovery (d=%d, %s then %s: ACT at %d < %d)",
+						d, typeName(earlier), typeName(later), g, preStart+p.TRP)
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+func typeName(write bool) string {
+	if write {
+		return "W"
+	}
+	return "R"
+}
+
+// MinL computes the smallest feasible slot spacing for the anchor and
+// partitioning mode — the paper's l. It returns an error if nothing up to
+// maxL works.
+func MinL(a Anchor, mode addr.PartitionKind, p dram.Params) (int, error) {
+	const maxL = 512
+	lo := p.TBURST // a burst must at least fit
+	for l := lo; l <= maxL; l++ {
+		if ok, _ := Feasible(l, a, mode, p); ok {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no feasible l <= %d for %v/%v", maxL, a, mode)
+}
+
+// BestAnchor returns the anchor with the smallest feasible l for the mode,
+// resolving the paper's observation that fixed periodic data wins under
+// rank partitioning while fixed periodic RAS wins under bank partitioning
+// and no partitioning.
+func BestAnchor(mode addr.PartitionKind, p dram.Params) (Anchor, int, error) {
+	best := Anchor(-1)
+	bestL := 0
+	for _, a := range []Anchor{FixedData, FixedRAS, FixedCAS} {
+		l, err := MinL(a, mode, p)
+		if err != nil {
+			continue
+		}
+		if best < 0 || l < bestL {
+			best, bestL = a, l
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("core: no feasible anchor for %v", mode)
+	}
+	return best, bestL, nil
+}
+
+// SolverTable summarizes minimal l for every anchor/mode combination; the
+// cmd/pipeline tool prints it and the tests pin the paper's values.
+func SolverTable(p dram.Params) map[string]int {
+	out := map[string]int{}
+	for _, mode := range []addr.PartitionKind{addr.PartitionRank, addr.PartitionBank, addr.PartitionNone} {
+		for _, a := range []Anchor{FixedData, FixedRAS, FixedCAS} {
+			l, err := MinL(a, mode, p)
+			if err != nil {
+				l = -1
+			}
+			out[fmt.Sprintf("%v/%v", mode, a)] = l
+		}
+	}
+	return out
+}

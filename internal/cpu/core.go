@@ -1,0 +1,142 @@
+// Package cpu models an out-of-order core at the fidelity the evaluation
+// needs: a reorder buffer that fills behind outstanding memory reads, a
+// fixed fetch/retire width, and non-blocking writes. This is the USIMM
+// processor model: IPC responds to memory latency and bandwidth, which is
+// the coupling every figure in the paper measures.
+package cpu
+
+import (
+	"fsmem/internal/dram"
+	"fsmem/internal/stats"
+	"fsmem/internal/trace"
+)
+
+// Memory is the post-LLC memory system as seen by one core. Enqueue
+// operations return false under backpressure (full controller queues), in
+// which case the core stalls and retries.
+type Memory interface {
+	EnqueueRead(domain int, a dram.Address, done func()) bool
+	EnqueueWrite(domain int, a dram.Address) bool
+}
+
+type pendingRead struct {
+	idx  int64 // instruction index occupying the ROB slot
+	done bool
+}
+
+// Core is one simulated core running one security domain's stream.
+type Core struct {
+	ID      int
+	Width   int // fetch/retire width per CPU cycle
+	ROBSize int
+
+	stream trace.Stream
+	mem    Memory
+	stats  *stats.Domain
+
+	fetchIdx  int64 // next instruction index to fetch
+	retireIdx int64 // next instruction index to retire
+	reads     []pendingRead
+
+	ref      trace.Ref
+	refAt    int64 // instruction index of the next memory reference
+	haveRef  bool
+	stalled  bool // could not enqueue last cycle; retry
+	finished bool
+}
+
+// NewCore builds a core with the paper's parameters (64-entry ROB, 4-wide).
+func NewCore(id int, stream trace.Stream, mem Memory, st *stats.Domain) *Core {
+	c := &Core{
+		ID:      id,
+		Width:   4,
+		ROBSize: 64,
+		stream:  stream,
+		mem:     mem,
+		stats:   st,
+	}
+	c.loadNextRef()
+	return c
+}
+
+func (c *Core) loadNextRef() {
+	c.ref = c.stream.Next()
+	c.refAt = c.fetchIdx + int64(c.ref.Gap)
+	c.haveRef = true
+}
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() int64 { return c.retireIdx }
+
+// Cycle advances the core by one CPU cycle.
+func (c *Core) Cycle() {
+	c.stats.CPUCycles++
+
+	// Retire stage: up to Width instructions, blocking at the oldest
+	// outstanding read.
+	retired := 0
+	for retired < c.Width && c.retireIdx < c.fetchIdx {
+		if len(c.reads) > 0 && c.reads[0].idx == c.retireIdx {
+			if !c.reads[0].done {
+				break
+			}
+			c.reads = c.reads[1:]
+		}
+		c.retireIdx++
+		c.stats.Instructions++
+		retired++
+	}
+
+	// Fetch stage: up to Width instructions, bounded by ROB occupancy.
+	fetched := 0
+	for fetched < c.Width && c.fetchIdx-c.retireIdx < int64(c.ROBSize) {
+		if c.haveRef && c.fetchIdx == c.refAt {
+			if !c.issueRef() {
+				return // backpressure: retry next cycle
+			}
+			c.fetchIdx++
+			fetched++
+			c.loadNextRef()
+			continue
+		}
+		c.fetchIdx++
+		fetched++
+	}
+}
+
+// issueRef submits the current memory reference; false means backpressure.
+func (c *Core) issueRef() bool {
+	if c.ref.Write {
+		// Writes drain through the write buffer and never block retirement;
+		// a full write queue stalls fetch only.
+		return c.mem.EnqueueWrite(c.ID, c.ref.Addr)
+	}
+	idx := c.fetchIdx
+	pos := len(c.reads)
+	c.reads = append(c.reads, pendingRead{idx: idx})
+	ok := c.mem.EnqueueRead(c.ID, c.ref.Addr, func() {
+		// Completion callback: mark the (still ordered) entry done.
+		for i := range c.reads {
+			if c.reads[i].idx == idx {
+				c.reads[i].done = true
+				return
+			}
+		}
+	})
+	if !ok {
+		c.reads = c.reads[:pos]
+		return false
+	}
+	return true
+}
+
+// OutstandingReads returns the number of reads in flight (ROB pressure).
+func (c *Core) OutstandingReads() int {
+	n := 0
+	for _, r := range c.reads {
+		if !r.done {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package cpu
+
+import (
+	"testing"
+
+	"fsmem/internal/dram"
+	"fsmem/internal/stats"
+	"fsmem/internal/trace"
+)
+
+// fakeMem is a controllable memory system: reads complete when the test
+// releases them; capacity limits exercise backpressure.
+type fakeMem struct {
+	pending    []func()
+	readCap    int
+	writeCap   int
+	writes     int
+	rejectNext bool
+}
+
+func newFakeMem() *fakeMem { return &fakeMem{readCap: 1 << 30, writeCap: 1 << 30} }
+
+func (m *fakeMem) EnqueueRead(domain int, a dram.Address, done func()) bool {
+	if m.rejectNext || len(m.pending) >= m.readCap {
+		return false
+	}
+	m.pending = append(m.pending, done)
+	return true
+}
+
+func (m *fakeMem) EnqueueWrite(domain int, a dram.Address) bool {
+	if m.writes >= m.writeCap {
+		return false
+	}
+	m.writes++
+	return true
+}
+
+func (m *fakeMem) completeOldest() {
+	if len(m.pending) == 0 {
+		return
+	}
+	done := m.pending[0]
+	m.pending = m.pending[1:]
+	done()
+}
+
+func TestPureComputeRetiresAtWidth(t *testing.T) {
+	var st stats.Domain
+	c := NewCore(0, trace.IdleStream{}, newFakeMem(), &st)
+	for i := 0; i < 100; i++ {
+		c.Cycle()
+	}
+	// 4-wide with a 64-entry ROB: steady state retires 4 per cycle (the
+	// first cycle retires nothing because fetch happens after retire).
+	if got := c.Retired(); got < 4*99-8 || got > 4*100 {
+		t.Errorf("retired %d in 100 cycles, want ~396", got)
+	}
+	if st.Instructions != c.Retired() {
+		t.Errorf("stats.Instructions %d != Retired %d", st.Instructions, c.Retired())
+	}
+	if st.CPUCycles != 100 {
+		t.Errorf("CPUCycles = %d", st.CPUCycles)
+	}
+}
+
+func TestReadBlocksRetirement(t *testing.T) {
+	var st stats.Domain
+	mem := newFakeMem()
+	// One read after 10 instructions, then pure compute.
+	s := &trace.SliceStream{Refs: []trace.Ref{{Gap: 10}, {Gap: 1 << 20}}}
+	c := NewCore(0, s, mem, &st)
+	for i := 0; i < 50; i++ {
+		c.Cycle()
+	}
+	// Retirement must be stuck just before the read (10 instructions).
+	if got := c.Retired(); got != 10 {
+		t.Fatalf("retired %d while read outstanding, want 10", got)
+	}
+	if c.OutstandingReads() != 1 {
+		t.Fatalf("outstanding reads = %d", c.OutstandingReads())
+	}
+	mem.completeOldest()
+	for i := 0; i < 10; i++ {
+		c.Cycle()
+	}
+	if got := c.Retired(); got <= 10 {
+		t.Errorf("retirement did not resume after completion: %d", got)
+	}
+}
+
+func TestROBLimitsFetchAhead(t *testing.T) {
+	var st stats.Domain
+	mem := newFakeMem()
+	s := &trace.SliceStream{Refs: []trace.Ref{{Gap: 0}, {Gap: 1 << 20}}}
+	c := NewCore(0, s, mem, &st)
+	for i := 0; i < 100; i++ {
+		c.Cycle()
+	}
+	// The read at instruction 0 blocks retirement entirely; fetch may run
+	// at most ROBSize ahead.
+	if got := c.Retired(); got != 0 {
+		t.Fatalf("retired %d with blocked head, want 0", got)
+	}
+	if ahead := c.fetchIdx - c.retireIdx; ahead != int64(c.ROBSize) {
+		t.Errorf("fetch ran %d ahead, want exactly ROB size %d", ahead, c.ROBSize)
+	}
+}
+
+func TestMemoryLevelParallelism(t *testing.T) {
+	var st stats.Domain
+	mem := newFakeMem()
+	// Four reads 4 instructions apart: all fit in the ROB window, so all
+	// four must be outstanding simultaneously.
+	s := &trace.SliceStream{Refs: []trace.Ref{
+		{Gap: 4}, {Gap: 4}, {Gap: 4}, {Gap: 4}, {Gap: 1 << 20},
+	}}
+	c := NewCore(0, s, mem, &st)
+	for i := 0; i < 20; i++ {
+		c.Cycle()
+	}
+	if got := c.OutstandingReads(); got != 4 {
+		t.Errorf("outstanding reads = %d, want 4 (MLP)", got)
+	}
+}
+
+func TestWritesDoNotBlockRetirement(t *testing.T) {
+	var st stats.Domain
+	mem := newFakeMem()
+	s := &trace.SliceStream{Refs: []trace.Ref{{Gap: 5, Write: true}, {Gap: 1 << 20}}}
+	c := NewCore(0, s, mem, &st)
+	for i := 0; i < 30; i++ {
+		c.Cycle()
+	}
+	if got := c.Retired(); got < 60 {
+		t.Errorf("write should not block retirement: retired %d", got)
+	}
+	if mem.writes != 1 {
+		t.Errorf("writes enqueued = %d", mem.writes)
+	}
+}
+
+func TestWriteBackpressureStallsFetch(t *testing.T) {
+	var st stats.Domain
+	mem := newFakeMem()
+	mem.writeCap = 0
+	s := &trace.SliceStream{Refs: []trace.Ref{{Gap: 5, Write: true}, {Gap: 1 << 20}}}
+	c := NewCore(0, s, mem, &st)
+	for i := 0; i < 20; i++ {
+		c.Cycle()
+	}
+	// Fetch is stuck at the write; only the 5 prior instructions retire.
+	if got := c.Retired(); got != 5 {
+		t.Fatalf("retired %d under write backpressure, want 5", got)
+	}
+	mem.writeCap = 1
+	for i := 0; i < 20; i++ {
+		c.Cycle()
+	}
+	if got := c.Retired(); got <= 5 {
+		t.Errorf("fetch did not resume after backpressure cleared: %d", got)
+	}
+}
+
+func TestReadBackpressureRetries(t *testing.T) {
+	var st stats.Domain
+	mem := newFakeMem()
+	mem.rejectNext = true
+	s := &trace.SliceStream{Refs: []trace.Ref{{Gap: 2}, {Gap: 1 << 20}}}
+	c := NewCore(0, s, mem, &st)
+	for i := 0; i < 5; i++ {
+		c.Cycle()
+	}
+	if len(mem.pending) != 0 {
+		t.Fatal("read should have been rejected")
+	}
+	if c.OutstandingReads() != 0 {
+		t.Fatal("rejected read left a ROB entry behind")
+	}
+	mem.rejectNext = false
+	for i := 0; i < 5; i++ {
+		c.Cycle()
+	}
+	if len(mem.pending) != 1 {
+		t.Error("read not retried after backpressure cleared")
+	}
+}

@@ -1,0 +1,40 @@
+package dram
+
+import "fmt"
+
+// Checker independently validates a stream of (command, cycle) pairs
+// against the full timing model. It is deliberately unaware of any
+// scheduler: the Fixed Service tests feed whole statically generated
+// pipelines through a Checker to prove them conflict-free, which is the
+// executable counterpart of the paper's Section 3 equations.
+type Checker struct {
+	ch         *Channel
+	violations []error
+	fed        int
+}
+
+// NewChecker builds a checker over a fresh, all-banks-precharged channel.
+func NewChecker(p Params) *Checker {
+	return &Checker{ch: NewChannel(p)}
+}
+
+// Feed validates and applies one command. Invalid commands are recorded as
+// violations and not applied, so one bad command does not cascade.
+func (c *Checker) Feed(cmd Command, cycle int64) {
+	c.fed++
+	if err := c.ch.Issue(cmd, cycle); err != nil {
+		c.violations = append(c.violations, fmt.Errorf("command %d: %w", c.fed, err))
+	}
+}
+
+// Violations returns every violation seen so far.
+func (c *Checker) Violations() []error { return c.violations }
+
+// Commands returns the number of commands fed.
+func (c *Checker) Commands() int { return c.fed }
+
+// Counters exposes the underlying channel's activity counters.
+func (c *Checker) Counters() Counters { return c.ch.Counters }
+
+// Ok reports whether no violations have been recorded.
+func (c *Checker) Ok() bool { return len(c.violations) == 0 }

@@ -1,0 +1,122 @@
+package dram
+
+import (
+	"testing"
+)
+
+// differentialDrive issues a pseudo-random command stream, asking both the
+// incremental Channel and the brute-force ReferenceChecker for a verdict on
+// every attempt, and fails on the first disagreement. Accepted commands are
+// applied to both so their states stay in lockstep.
+func differentialDrive(t *testing.T, p Params, seed uint64, attempts int) (accepted int) {
+	t.Helper()
+	ch := NewChannel(p)
+	ref := NewReferenceChecker(p)
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	cycle := int64(0)
+	for i := 0; i < attempts; i++ {
+		r := next()
+		cmd := Command{
+			Rank: int(r % uint64(p.RanksPerChan)),
+			Bank: int((r >> 8) % uint64(p.BanksPerRank)),
+			Row:  int((r >> 16) % 64),
+			Col:  int((r >> 24) % uint64(p.ColsPerRow)),
+		}
+		switch (r >> 32) % 6 {
+		case 0:
+			cmd.Kind = KindActivate
+		case 1:
+			cmd.Kind = KindRead
+		case 2:
+			cmd.Kind = KindReadAP
+		case 3:
+			cmd.Kind = KindWrite
+		case 4:
+			cmd.Kind = KindWriteAP
+		case 5:
+			cmd.Kind = KindPrecharge
+		}
+		cycle += int64(1 + (r>>40)%8)
+
+		chErr := ch.CanIssue(cmd, cycle)
+		refErr := ref.Check(cmd, cycle)
+		if (chErr == nil) != (refErr == nil) {
+			t.Fatalf("attempt %d: verdicts disagree on %v at %d:\n  channel:   %v\n  reference: %v",
+				i, cmd, cycle, chErr, refErr)
+		}
+		if chErr == nil {
+			if err := ch.Issue(cmd, cycle); err != nil {
+				t.Fatalf("accepted command failed to apply: %v", err)
+			}
+			ref.Apply(cmd, cycle)
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// TestDifferentialDDR3 drives random streams through both timing-model
+// implementations on DDR3 and requires bit-identical verdicts.
+func TestDifferentialDDR3(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		acc := differentialDrive(t, DDR3_1600(), seed, 1500)
+		if acc < 100 {
+			t.Fatalf("seed %d: only %d commands accepted; stream too adversarial to be meaningful", seed, acc)
+		}
+	}
+}
+
+// TestDifferentialDDR4 repeats the differential check with bank-group
+// timings in play.
+func TestDifferentialDDR4(t *testing.T) {
+	for seed := uint64(11); seed <= 14; seed++ {
+		acc := differentialDrive(t, DDR4_2400(), seed, 1200)
+		if acc < 80 {
+			t.Fatalf("seed %d: only %d commands accepted", seed, acc)
+		}
+	}
+}
+
+// TestDifferentialDenseCycles uses 1-cycle steps so bus-ordering and
+// same-cycle hazards dominate.
+func TestDifferentialDenseCycles(t *testing.T) {
+	p := DDR3_1600()
+	ch := NewChannel(p)
+	ref := NewReferenceChecker(p)
+	cmds := []struct {
+		cmd   Command
+		cycle int64
+	}{
+		{Command{Kind: KindActivate, Rank: 0, Bank: 0, Row: 1}, 1},
+		{Command{Kind: KindActivate, Rank: 0, Bank: 1, Row: 1}, 2},  // tRRD violation
+		{Command{Kind: KindActivate, Rank: 1, Bank: 0, Row: 1}, 2},  // other rank: legal
+		{Command{Kind: KindRead, Rank: 0, Bank: 0}, 5},              // tRCD violation
+		{Command{Kind: KindRead, Rank: 0, Bank: 0}, 12},             // legal
+		{Command{Kind: KindRead, Rank: 1, Bank: 0}, 14},             // tRTRS data-bus violation
+		{Command{Kind: KindRead, Rank: 1, Bank: 0}, 18},             // legal
+		{Command{Kind: KindPrecharge, Rank: 0, Bank: 0}, 20},        // tRAS violation
+		{Command{Kind: KindPrecharge, Rank: 0, Bank: 0}, 29},        // legal
+		{Command{Kind: KindActivate, Rank: 0, Bank: 0, Row: 2}, 35}, // tRP violation
+		{Command{Kind: KindActivate, Rank: 0, Bank: 0, Row: 2}, 40}, // legal
+	}
+	for i, c := range cmds {
+		chErr := ch.CanIssue(c.cmd, c.cycle)
+		refErr := ref.Check(c.cmd, c.cycle)
+		if (chErr == nil) != (refErr == nil) {
+			t.Fatalf("step %d (%v at %d): channel=%v reference=%v", i, c.cmd, c.cycle, chErr, refErr)
+		}
+		if chErr == nil {
+			if err := ch.Issue(c.cmd, c.cycle); err != nil {
+				t.Fatal(err)
+			}
+			ref.Apply(c.cmd, c.cycle)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package energy implements a Micron-power-calculator-style DDR3 energy
+// model: per-operation energies derived from IDD currents, plus background
+// power in active/precharge standby and power-down states, driven by the
+// simulator's event counts. Absolute joules are representative of a 4Gb
+// DDR3-1600 part; the figures only compare schemes, which the model's
+// ratios preserve.
+package energy
+
+import (
+	"fsmem/internal/core"
+	"fsmem/internal/dram"
+	"fsmem/internal/stats"
+)
+
+// IDD holds the datasheet currents (mA, per device) and voltage used by the
+// Micron power methodology.
+type IDD struct {
+	VDD   float64 // supply voltage, V
+	IDD0  float64 // one-bank ACT-PRE current
+	IDD2N float64 // precharge standby
+	IDD2P float64 // precharge power-down
+	IDD3N float64 // active standby
+	IDD4R float64 // burst read
+	IDD4W float64 // burst write
+	IDD5  float64 // refresh
+
+	DevicesPerRank int // DRAM chips ganged per rank (x8 -> 8 devices)
+}
+
+// DDR3_4Gb returns typical DDR3-1600 4Gb x8 datasheet values.
+func DDR3_4Gb() IDD {
+	return IDD{
+		VDD:            1.5,
+		IDD0:           95,
+		IDD2N:          42,
+		IDD2P:          12,
+		IDD3N:          55,
+		IDD4R:          180,
+		IDD4W:          185,
+		IDD5:           215,
+		DevicesPerRank: 8,
+	}
+}
+
+// Model converts event counts into energy for a given clock.
+type Model struct {
+	P   dram.Params
+	Cur IDD
+
+	busHz float64 // bus clock (cycles per second)
+}
+
+// NewModel builds the energy model for the DDR3-1600 bus clock (800 MHz).
+func NewModel(p dram.Params, cur IDD) *Model {
+	return &Model{P: p, Cur: cur, busHz: 800e6}
+}
+
+func (m *Model) cyc() float64 { return 1.0 / m.busHz } // seconds per bus cycle
+
+// rankWatts converts a per-device current to rank watts.
+func (m *Model) rankWatts(mA float64) float64 {
+	return mA / 1000.0 * m.Cur.VDD * float64(m.Cur.DevicesPerRank)
+}
+
+// ActivateEnergy returns joules for one ACT+PRE pair across the rank:
+// (IDD0 - IDD3N) * tRC worth of charge above active standby.
+func (m *Model) ActivateEnergy() float64 {
+	return m.rankWatts(m.Cur.IDD0-m.Cur.IDD3N) * float64(m.P.TRC) * m.cyc()
+}
+
+// ReadEnergy returns joules for one read burst above standby.
+func (m *Model) ReadEnergy() float64 {
+	return m.rankWatts(m.Cur.IDD4R-m.Cur.IDD3N) * float64(m.P.TBURST) * m.cyc()
+}
+
+// WriteEnergy returns joules for one write burst above standby.
+func (m *Model) WriteEnergy() float64 {
+	return m.rankWatts(m.Cur.IDD4W-m.Cur.IDD3N) * float64(m.P.TBURST) * m.cyc()
+}
+
+// RefreshEnergy returns joules for one refresh.
+func (m *Model) RefreshEnergy() float64 {
+	return m.rankWatts(m.Cur.IDD5-m.Cur.IDD2N) * float64(m.P.TRFC) * m.cyc()
+}
+
+// Breakdown is the energy of one run split by source.
+type Breakdown struct {
+	ActivateJ   float64
+	ReadJ       float64
+	WriteJ      float64
+	RefreshJ    float64
+	BackgroundJ float64
+	Total       float64
+}
+
+// ForRun computes the energy of a simulation run. fsStats may be nil for
+// non-FS schedulers; when present, row-buffer boosts subtract elided
+// ACT+PRE pairs and power-down cycles swap standby for power-down current.
+func (m *Model) ForRun(run stats.Run, fsStats *core.FSStats) Breakdown {
+	var b Breakdown
+	c := run.Channel
+
+	b.ActivateJ = float64(c.Acts) * m.ActivateEnergy()
+	b.ReadJ = float64(c.Reads) * m.ReadEnergy()
+	b.WriteJ = float64(c.Writes) * m.WriteEnergy()
+	b.RefreshJ = float64(c.Refreshes) * m.RefreshEnergy()
+
+	// Background: approximate each rank as active standby while the channel
+	// is busy in proportion to its share of traffic, precharge standby
+	// otherwise. With closed-page FS policies banks spend most time
+	// precharged; with the open-page baseline rows stay open. We scale
+	// between IDD3N and IDD2N by the channel's activity duty cycle.
+	seconds := float64(run.BusCycles) * m.cyc()
+	duty := 0.0
+	if run.BusCycles > 0 {
+		duty = float64(c.DataBusBusy) / float64(run.BusCycles)
+		if duty > 1 {
+			duty = 1
+		}
+	}
+	standbyW := m.rankWatts(m.Cur.IDD2N) + duty*(m.rankWatts(m.Cur.IDD3N)-m.rankWatts(m.Cur.IDD2N))
+	ranks := float64(m.P.RanksPerChan)
+
+	var pdSeconds float64
+	if fsStats != nil {
+		// Row-buffer boosts elided an ACT+PRE pair each.
+		b.ActivateJ -= float64(fsStats.RowHitBoosts) * m.ActivateEnergy()
+		if b.ActivateJ < 0 {
+			b.ActivateJ = 0
+		}
+		for _, cycles := range fsStats.PowerDownCycles {
+			pdSeconds += float64(cycles) * m.cyc()
+		}
+	}
+	activeRankSeconds := seconds*ranks - pdSeconds
+	if activeRankSeconds < 0 {
+		activeRankSeconds = 0
+	}
+	b.BackgroundJ = activeRankSeconds*standbyW + pdSeconds*m.rankWatts(m.Cur.IDD2P)
+
+	b.Total = b.ActivateJ + b.ReadJ + b.WriteJ + b.RefreshJ + b.BackgroundJ
+	return b
+}
+
+// PerRead returns energy per serviced demand read, the normalized metric
+// Figures 8 and 9 compare (energy normalized to work done).
+func PerRead(b Breakdown, run stats.Run) float64 {
+	reads := run.TotalReads()
+	if reads == 0 {
+		return 0
+	}
+	return b.Total / float64(reads)
+}

@@ -1,0 +1,98 @@
+package energy
+
+import (
+	"testing"
+
+	"fsmem/internal/core"
+	"fsmem/internal/dram"
+	"fsmem/internal/stats"
+)
+
+func model() *Model { return NewModel(dram.DDR3_1600(), DDR3_4Gb()) }
+
+func TestPerOperationEnergiesPlausible(t *testing.T) {
+	m := model()
+	// Representative DDR3 figures: an ACT+PRE pair costs a few nJ across
+	// the rank; a burst costs a few nJ. Sanity-band them.
+	if e := m.ActivateEnergy(); e < 1e-10 || e > 1e-7 {
+		t.Errorf("ActivateEnergy %.3g J implausible", e)
+	}
+	if e := m.ReadEnergy(); e < 1e-11 || e > 1e-8 {
+		t.Errorf("ReadEnergy %.3g J implausible", e)
+	}
+	if m.WriteEnergy() <= m.ReadEnergy()*0.5 || m.WriteEnergy() >= m.ReadEnergy()*2 {
+		t.Errorf("write energy %.3g vs read %.3g out of family", m.WriteEnergy(), m.ReadEnergy())
+	}
+	if m.RefreshEnergy() <= m.ActivateEnergy() {
+		t.Errorf("a refresh (%.3g) should cost more than one activate (%.3g)", m.RefreshEnergy(), m.ActivateEnergy())
+	}
+}
+
+func runWith(acts, reads, writes, busy, cycles int64) stats.Run {
+	return stats.Run{
+		BusCycles: cycles,
+		Domains:   []stats.Domain{{Reads: reads}},
+		Channel:   dram.Counters{Acts: acts, Reads: reads, Writes: writes, DataBusBusy: busy},
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	m := model()
+	b := m.ForRun(runWith(100, 80, 20, 400, 10000), nil)
+	sum := b.ActivateJ + b.ReadJ + b.WriteJ + b.RefreshJ + b.BackgroundJ
+	if diff := b.Total - sum; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("Total %.3g != sum %.3g", b.Total, sum)
+	}
+	if b.Total <= 0 {
+		t.Error("non-empty run must consume energy")
+	}
+}
+
+func TestMoreActivityMoreEnergy(t *testing.T) {
+	m := model()
+	small := m.ForRun(runWith(100, 80, 20, 400, 10000), nil)
+	big := m.ForRun(runWith(200, 160, 40, 800, 10000), nil)
+	if big.Total <= small.Total {
+		t.Errorf("doubling activity should raise energy: %.3g vs %.3g", big.Total, small.Total)
+	}
+}
+
+func TestRowHitBoostsReduceActivateEnergy(t *testing.T) {
+	m := model()
+	run := runWith(100, 80, 20, 400, 10000)
+	plain := m.ForRun(run, nil)
+	boosted := m.ForRun(run, &core.FSStats{RowHitBoosts: 40, PowerDownCycles: make([]int64, 8)})
+	want := plain.ActivateJ - 40*m.ActivateEnergy()
+	if diff := boosted.ActivateJ - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("boosted activate energy %.3g, want %.3g", boosted.ActivateJ, want)
+	}
+	// Boosts can never drive activate energy negative.
+	over := m.ForRun(run, &core.FSStats{RowHitBoosts: 10000, PowerDownCycles: make([]int64, 8)})
+	if over.ActivateJ < 0 {
+		t.Error("activate energy went negative")
+	}
+}
+
+func TestPowerDownReducesBackground(t *testing.T) {
+	m := model()
+	run := runWith(100, 80, 20, 400, 10000)
+	pd := make([]int64, 8)
+	pd[0] = 8000 // rank 0 powered down most of the run
+	with := m.ForRun(run, &core.FSStats{PowerDownCycles: pd})
+	without := m.ForRun(run, &core.FSStats{PowerDownCycles: make([]int64, 8)})
+	if with.BackgroundJ >= without.BackgroundJ {
+		t.Errorf("power-down should cut background energy: %.3g vs %.3g", with.BackgroundJ, without.BackgroundJ)
+	}
+}
+
+func TestPerRead(t *testing.T) {
+	m := model()
+	run := runWith(100, 80, 20, 400, 10000)
+	b := m.ForRun(run, nil)
+	if got := PerRead(b, run); got <= 0 {
+		t.Errorf("PerRead = %v", got)
+	}
+	if PerRead(b, stats.Run{Domains: []stats.Domain{{}}}) != 0 {
+		t.Error("PerRead with zero reads should be 0")
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fsmem/internal/core"
+	"fsmem/internal/dram"
+	"fsmem/internal/sim"
+	"fsmem/internal/stats"
+	"fsmem/internal/workload"
+)
+
+// AblationSlotSpacing quantifies why the solver's minimal l matters: it
+// runs the bank-partitioned FS pipeline at the fixed-periodic-RAS optimum
+// (l=15), at the fixed-periodic-data spacing (l=21, Equation 4b), and at
+// the no-partitioning worst case (l=43). DESIGN.md calls this the "anchor
+// choice" ablation — the entire gap between the anchors is the slot
+// spacing they admit.
+func AblationSlotSpacing(r *Runner) Table {
+	t := Table{
+		ID:      "Ablation A1",
+		Title:   "FS_BP throughput vs slot spacing l (8 threads)",
+		Columns: []string{"l=15 (RAS)", "l=21 (data)", "l=43 (pessimistic)"},
+	}
+	sums := make([]float64, 3)
+	n := 0.0
+	for _, mix := range r.suite() {
+		row := Row{Label: mix.Name}
+		for i, l := range []int{15, 21, 43} {
+			l := l
+			w := r.weighted(mix, sim.FSBankPart, func(c *sim.Config) { c.FSSlotSpacing = l })
+			row.Values = append(row.Values, w)
+			sums[i] += w
+		}
+		t.Rows = append(t.Rows, row)
+		n++
+	}
+	am := Row{Label: "AM"}
+	for _, s := range sums {
+		am.Values = append(am.Values, s/n)
+	}
+	t.Rows = append(t.Rows, am)
+	t.Notes = append(t.Notes, "throughput should fall monotonically with l: the solver's minimum is the whole win")
+	return t
+}
+
+// AblationSLAWeights demonstrates §5.1 service-level agreements: domain 0
+// receives twice the issue slots of its peers under FS_RP, and its service
+// scales accordingly while the schedule stays conflict-free.
+func AblationSLAWeights(r *Runner) Table {
+	t := Table{
+		ID:      "Ablation A2",
+		Title:   "Weighted SLA slots under FS_RP (4 domains, weights 2:1:1:1)",
+		Columns: []string{"dom0 IPC ratio", "dom1 IPC ratio", "interval Q"},
+	}
+	for _, name := range []string{"milc", "mcf", "libquantum"} {
+		mix, err := workload.Rate(name, 4)
+		if err != nil {
+			panic(err)
+		}
+		equal := r.run(mix, sim.FSRankPart, nil)
+		weighted := r.run(mix, sim.FSRankPart, func(c *sim.Config) {
+			c.SLAWeights = []int{2, 1, 1, 1}
+		})
+		q := 7.0 * 5 // l * total slots
+		t.Rows = append(t.Rows, Row{Label: name, Values: []float64{
+			weighted.Run.Domains[0].IPC() / equal.Run.Domains[0].IPC(),
+			weighted.Run.Domains[1].IPC() / equal.Run.Domains[1].IPC(),
+			q,
+		}})
+	}
+	t.Notes = append(t.Notes, "memory-bound domains with weight 2 should approach a 2x IPC ratio (note Q also grows 4->5 slots)")
+	return t
+}
+
+// AblationRefresh measures the throughput cost of folding deterministic
+// refresh windows into the FS_RP slot grid.
+func AblationRefresh(r *Runner) Table {
+	t := Table{
+		ID:      "Ablation A3",
+		Title:   "FS_RP with deterministic refresh windows",
+		Columns: []string{"no refresh", "refresh", "slowdown %"},
+	}
+	for _, name := range []string{"milc", "mcf", "xalancbmk"} {
+		mix, err := workload.Rate(name, 8)
+		if err != nil {
+			panic(err)
+		}
+		off := r.weighted(mix, sim.FSRankPart, nil)
+		on := r.weighted(mix, sim.FSRankPart, func(c *sim.Config) { c.RefreshEnabled = true })
+		t.Rows = append(t.Rows, Row{Label: name, Values: []float64{off, on, (1 - on/off) * 100}})
+	}
+	t.Notes = append(t.Notes, "tRFC/tREFI = 208/6240 bounds the refresh tax near 3-4% plus quiesce slots")
+	return t
+}
+
+// AblationConsecutive reports the §3.1 N-consecutive-transactions study
+// from the analytical solver (no simulation needed: the pipeline's peak
+// service rate is its average slot spacing).
+func AblationConsecutive(r *Runner) Table {
+	t := Table{
+		ID:      "Ablation A4",
+		Title:   "N consecutive transactions per thread (rank partitioning)",
+		Columns: []string{"intra l", "inter l", "avg cycles/txn"},
+	}
+	for n := 1; n <= 4; n++ {
+		plan, err := core.SolveConsecutive(n, dram.DDR3_1600())
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("N=%d", n),
+			Values: []float64{float64(plan.IntraL), float64(plan.InterL), plan.AvgSpacing()},
+		})
+	}
+	t.Notes = append(t.Notes, "§3.1: N>1 never beats the N=1 pipeline at the Table 1 timings (the in-block write-to-read turnaround dominates)")
+	return t
+}
+
+// Ablations runs every ablation study.
+func Ablations(r *Runner) []Table {
+	return []Table{AblationSlotSpacing(r), AblationSLAWeights(r), AblationRefresh(r), AblationConsecutive(r), AblationDDR4(r)}
+}
+
+// AblationDDR4 re-runs the design-space comparison on DDR4-2400: every
+// pipeline is re-solved from the JESD79-4 timings (the paper's Table 1
+// cites the DDR4 standard but evaluates DDR3), demonstrating that the
+// framework — not a fixed schedule — is the contribution.
+func AblationDDR4(r *Runner) Table {
+	t := Table{
+		ID:      "Ablation A5",
+		Title:   "Design space on DDR4-2400 (normalized to the DDR4 baseline)",
+		Columns: []string{"FS_RP", "FS_Reordered_BP", "TP_BP", "FS_NP_Optimized", "TP_NP"},
+	}
+	ddr4 := func(c *sim.Config) { c.DRAM = dram.DDR4_2400() }
+	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank, sim.FSNoPartTriple, sim.TPNone}
+	sums := make([]float64, len(schemes))
+	n := 0.0
+	for _, name := range []string{"milc", "mcf", "libquantum", "zeusmp"} {
+		mix, err := workload.Rate(name, 8)
+		if err != nil {
+			panic(err)
+		}
+		base := r.run(mix, sim.Baseline, ddr4)
+		row := Row{Label: name}
+		for i, k := range schemes {
+			res := r.run(mix, k, ddr4)
+			w, err := stats.WeightedIPC(res.Run, base.Run)
+			if err != nil {
+				panic(err)
+			}
+			row.Values = append(row.Values, w/8)
+			sums[i] += w / 8
+		}
+		t.Rows = append(t.Rows, row)
+		n++
+	}
+	am := Row{Label: "AM"}
+	for _, s := range sums {
+		am.Values = append(am.Values, s/n)
+	}
+	t.Rows = append(t.Rows, am)
+	t.Notes = append(t.Notes, "DDR4's longer (in cycles) turnarounds widen FS_RP's advantage: l stays bus-bound at 7 while l_BP grows 15->25 and l_NP 43->66")
+	return t
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+func TestAblationSlotSpacingMonotone(t *testing.T) {
+	tab := AblationSlotSpacing(smallRunner())
+	am := tab.Rows[len(tab.Rows)-1]
+	if !(am.Values[0] > am.Values[1] && am.Values[1] > am.Values[2]) {
+		t.Errorf("throughput not monotone in l: %v", am.Values)
+	}
+	t.Logf("Ablation A1 AM: l=15 %.2f, l=21 %.2f, l=43 %.2f", am.Values[0], am.Values[1], am.Values[2])
+}
+
+func TestAblationSLAWeights(t *testing.T) {
+	tab := AblationSLAWeights(smallRunner())
+	for _, row := range tab.Rows {
+		d0, d1 := row.Values[0], row.Values[1]
+		t.Logf("%s: weighted domain %.2fx, unweighted %.2fx", row.Label, d0, d1)
+		if row.Label == "milc" || row.Label == "mcf" {
+			// Memory-bound: the weight-2 domain must gain and the weight-1
+			// domains must not. The IPC gain is bounded below 2x by the
+			// ROB's memory-level parallelism (the raw 2x service ratio is
+			// proven by TestWeightedSlotsProportionalService in core).
+			if d0 < 1.05 {
+				t.Errorf("%s: weighted domain ratio %.2f, want > 1.05", row.Label, d0)
+			}
+			if d1 > 1.02 || d0 < d1+0.05 {
+				t.Errorf("%s: unweighted domain %.2f vs weighted %.2f", row.Label, d1, d0)
+			}
+		}
+	}
+}
+
+func TestAblationRefreshSmallTax(t *testing.T) {
+	tab := AblationRefresh(smallRunner())
+	for _, row := range tab.Rows {
+		slowdown := row.Values[2]
+		if slowdown < -2 || slowdown > 25 {
+			t.Errorf("%s: refresh slowdown %.1f%% implausible", row.Label, slowdown)
+		}
+	}
+}
+
+func TestAblationConsecutiveTable(t *testing.T) {
+	tab := AblationConsecutive(smallRunner())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].Values[2] != 7 {
+		t.Errorf("N=1 average %.2f, want 7", tab.Rows[0].Values[2])
+	}
+	for _, row := range tab.Rows[1:] {
+		if row.Values[2] < 7 {
+			t.Errorf("%s: average %.2f beats N=1", row.Label, row.Values[2])
+		}
+	}
+}

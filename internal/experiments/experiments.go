@@ -1,0 +1,467 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 7). Each FigureN function returns a Table whose rows mirror the
+// figure's data series; cmd/sweep prints them, the benchmarks time them,
+// and EXPERIMENTS.md records them against the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fsmem/internal/core"
+	"fsmem/internal/energy"
+	"fsmem/internal/leakage"
+	"fsmem/internal/sim"
+	"fsmem/internal/stats"
+	"fsmem/internal/workload"
+)
+
+// Table is one figure's regenerated data.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one x-axis entry (usually a workload).
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// CSV renders the table as comma-separated values for plotting.
+func (t Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, ",%s", c)
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	width := 14
+	for _, c := range t.Columns {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-14s", "workload")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", width+2, c)
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*.3f", width+2, v)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Settings scales the experiments: the paper runs 1M reads per workload;
+// tests and benches run smaller budgets.
+type Settings struct {
+	Cores       int
+	TargetReads int64
+	Seed        uint64
+}
+
+// DefaultSettings returns the 8-core evaluation configuration.
+func DefaultSettings() Settings {
+	return Settings{Cores: 8, TargetReads: 20_000, Seed: 42}
+}
+
+type runKey struct {
+	workload string
+	sched    sim.SchedulerKind
+	prefetch bool
+	energy   core.EnergyOpts
+	turn     int64
+	cores    int
+	slotL    int
+	refresh  bool
+	weights  string
+	dram     int // bank groups disambiguate DDR3 vs DDR4 runs
+}
+
+// Runner executes and memoizes simulation runs (every figure normalizes
+// against the same baseline runs).
+type Runner struct {
+	S     Settings
+	cache map[runKey]sim.Result
+}
+
+// NewRunner builds a runner.
+func NewRunner(s Settings) *Runner {
+	return &Runner{S: s, cache: map[runKey]sim.Result{}}
+}
+
+func (r *Runner) run(mix workload.Mix, k sim.SchedulerKind, mutate func(*sim.Config)) sim.Result {
+	cfg := sim.DefaultConfig(mix, k)
+	cfg.Seed = r.S.Seed
+	cfg.TargetReads = r.S.TargetReads
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	key := runKey{
+		workload: mix.Name, sched: k, prefetch: cfg.Prefetch, energy: cfg.Energy,
+		turn: cfg.TPTurnLength, cores: len(mix.Profiles),
+		slotL: cfg.FSSlotSpacing, refresh: cfg.RefreshEnabled,
+		weights: fmt.Sprint(cfg.SLAWeights),
+		dram:    cfg.DRAM.BankGroups,
+	}
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	res, err := sim.Simulate(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s/%v: %v", mix.Name, k, err))
+	}
+	r.cache[key] = res
+	return res
+}
+
+// weighted returns the sum of weighted IPCs for the scheme, normalized
+// against the non-secure baseline on the same mix (the paper's metric).
+func (r *Runner) weighted(mix workload.Mix, k sim.SchedulerKind, mutate func(*sim.Config)) float64 {
+	base := r.run(mix, sim.Baseline, nil)
+	res := r.run(mix, k, mutate)
+	w, err := stats.WeightedIPC(res.Run, base.Run)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func (r *Runner) suite() []workload.Mix { return workload.EvaluationSuite(r.S.Cores) }
+
+// Figure3 regenerates the design-space summary: arithmetic-mean normalized
+// throughput (baseline = 1.0) for the five secure design points.
+func Figure3(r *Runner) Table {
+	t := Table{
+		ID:    "Figure 3",
+		Title: "Design-space summary: normalized throughput (baseline = 1.0)",
+		Columns: []string{
+			"Baseline", "FS_RP", "FS_Reordered_BP", "TP_BP", "FS_NP_Optimized", "TP_NP",
+		},
+	}
+	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank, sim.FSNoPartTriple, sim.TPNone}
+	sums := make([]float64, len(schemes))
+	n := 0
+	for _, mix := range r.suite() {
+		for i, k := range schemes {
+			sums[i] += r.weighted(mix, k, nil) / float64(r.S.Cores)
+		}
+		n++
+	}
+	row := Row{Label: "AM", Values: []float64{1.0}}
+	for i := range schemes {
+		row.Values = append(row.Values, sums[i]/float64(n))
+	}
+	t.Rows = append(t.Rows, row)
+	t.Notes = append(t.Notes, "paper: 1.0 / 0.74 / 0.48 / 0.43 / 0.40 / 0.20")
+	return t
+}
+
+// Figure4 regenerates the execution-profile experiment: mcf against idle
+// and memory-intensive co-runners, under the baseline and FS_RP. It
+// returns the four profiles and a divergence summary table.
+func Figure4(r *Runner) (Table, []leakage.Profile) {
+	att, err := workload.ByName("mcf")
+	if err != nil {
+		panic(err)
+	}
+	milestone := int64(10_000)
+	total := int64(40) * milestone
+	var profiles []leakage.Profile
+	t := Table{
+		ID:      "Figure 4",
+		Title:   "mcf execution profiles: divergence vs co-runner intensity",
+		Columns: []string{"max divergence", "identical"},
+	}
+	for _, k := range []sim.SchedulerKind{sim.Baseline, sim.FSRankPart} {
+		quiet, err := leakage.CollectProfile(k, att, workload.Synthetic("idle", 0.01), r.S.Cores, milestone, total, r.S.Seed)
+		if err != nil {
+			panic(err)
+		}
+		loud, err := leakage.CollectProfile(k, att, workload.Synthetic("streaming", 45), r.S.Cores, milestone, total, r.S.Seed)
+		if err != nil {
+			panic(err)
+		}
+		profiles = append(profiles, quiet, loud)
+		div, err := leakage.Divergence(quiet, loud)
+		if err != nil {
+			panic(err)
+		}
+		ident := 0.0
+		if leakage.Identical(quiet, loud) {
+			ident = 1.0
+		}
+		t.Rows = append(t.Rows, Row{Label: k.String(), Values: []float64{div, ident}})
+	}
+	t.Notes = append(t.Notes, "paper: baseline curves diverge; FS curves overlap perfectly")
+	return t, profiles
+}
+
+// Figure5 regenerates the TP turn-length sweep: weighted IPC per workload
+// for bank-partitioned and no-partitioned TP at three turn lengths each.
+func Figure5(r *Runner) Table {
+	bpTurns := []int64{15, 25, 39} // the paper's 60/100/156 CPU cycles
+	npTurns := []int64{43, 53, 67} // the paper's 172/212/268 CPU cycles
+
+	t := Table{
+		ID:    "Figure 5",
+		Title: "TP turn-length sweep: sum of weighted IPCs (8 threads)",
+	}
+	for _, turn := range bpTurns {
+		t.Columns = append(t.Columns, fmt.Sprintf("T_TURN_BP_%d", turn*4))
+	}
+	for _, turn := range npTurns {
+		t.Columns = append(t.Columns, fmt.Sprintf("T_TURN_NP_%d", turn*4))
+	}
+	sums := make([]float64, 6)
+	for _, mix := range r.suite() {
+		row := Row{Label: mix.Name}
+		for _, turn := range bpTurns {
+			turn := turn
+			w := r.weighted(mix, sim.TPBank, func(c *sim.Config) { c.TPTurnLength = turn })
+			row.Values = append(row.Values, w)
+		}
+		for _, turn := range npTurns {
+			turn := turn
+			w := r.weighted(mix, sim.TPNone, func(c *sim.Config) { c.TPTurnLength = turn })
+			row.Values = append(row.Values, w)
+		}
+		for i, v := range row.Values {
+			sums[i] += v
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	am := Row{Label: "AM"}
+	for _, s := range sums {
+		am.Values = append(am.Values, s/float64(len(t.Rows)))
+	}
+	t.Rows = append(t.Rows, am)
+	t.Notes = append(t.Notes, "paper: minimum turn lengths are best on average; non-secure baseline = 8.0")
+	return t
+}
+
+// Figure6 regenerates the headline comparison: weighted IPC per workload
+// for FS_RP, FS_Reordered_BP, TP_BP, FS_NP_Optimized, TP_NP.
+func Figure6(r *Runner) Table {
+	t := Table{
+		ID:      "Figure 6",
+		Title:   "FS vs TP: sum of weighted IPCs (8 cores)",
+		Columns: []string{"FS_RP", "FS_Reordered_BP", "TP_BP", "FS_NP_Optimized", "TP_NP"},
+	}
+	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank, sim.FSNoPartTriple, sim.TPNone}
+	sums := make([]float64, len(schemes))
+	for _, mix := range r.suite() {
+		row := Row{Label: mix.Name}
+		for i, k := range schemes {
+			w := r.weighted(mix, k, nil)
+			row.Values = append(row.Values, w)
+			sums[i] += w
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	am := Row{Label: "AM"}
+	for _, s := range sums {
+		am.Values = append(am.Values, s/float64(len(t.Rows)))
+	}
+	t.Rows = append(t.Rows, am)
+	t.Notes = append(t.Notes,
+		"paper AM: FS_RP 69.3% above TP_BP; FS_Reordered_BP 11.3% above TP_BP; FS_NP_Optimized 2x TP_NP",
+		"paper: best FS is 27% below the non-secure baseline (baseline = 8.0 here)")
+	return t
+}
+
+// Figure6Detail reports the section 7 side statistics for the Figure 6
+// runs: average read latency, effective bus utilization, dummy fraction.
+func Figure6Detail(r *Runner) Table {
+	t := Table{
+		ID:      "Figure 6 detail",
+		Title:   "FS_RP and TP_BP derived statistics",
+		Columns: []string{"FS_RP lat", "FS_RP util", "FS_RP dummy%", "TP_BP lat", "TP_BP util"},
+	}
+	var latF, utilF, dumF, latT, utilT float64
+	n := 0.0
+	for _, mix := range r.suite() {
+		f := r.run(mix, sim.FSRankPart, nil).Run
+		tp := r.run(mix, sim.TPBank, nil).Run
+		t.Rows = append(t.Rows, Row{Label: mix.Name, Values: []float64{
+			f.AvgReadLatency(), f.BusUtilization(), f.DummyFraction() * 100,
+			tp.AvgReadLatency(), tp.BusUtilization(),
+		}})
+		latF += f.AvgReadLatency()
+		utilF += f.BusUtilization()
+		dumF += f.DummyFraction() * 100
+		latT += tp.AvgReadLatency()
+		utilT += tp.BusUtilization()
+		n++
+	}
+	t.Rows = append(t.Rows, Row{Label: "AM", Values: []float64{latF / n, utilF / n, dumF / n, latT / n, utilT / n}})
+	t.Notes = append(t.Notes, "paper: FS_RP avg latency 288 cycles, 37% effective utilization, 36% dummies; best TP_BP latency 683 cycles, 17% utilization")
+	return t
+}
+
+// Figure7 regenerates the prefetch experiment: baseline+prefetch, FS_RP
+// with and without prefetch.
+func Figure7(r *Runner) Table {
+	t := Table{
+		ID:      "Figure 7",
+		Title:   "Prefetching into dummy slots (8 threads, rank partitioning)",
+		Columns: []string{"Baseline_Prefetch", "FS_RP-Prefetch", "FS_RP"},
+	}
+	pf := func(c *sim.Config) { c.Prefetch = true }
+	sums := make([]float64, 3)
+	for _, mix := range r.suite() {
+		row := Row{Label: mix.Name}
+		row.Values = append(row.Values, r.weighted(mix, sim.Baseline, pf))
+		row.Values = append(row.Values, r.weighted(mix, sim.FSRankPart, pf))
+		row.Values = append(row.Values, r.weighted(mix, sim.FSRankPart, nil))
+		for i, v := range row.Values {
+			sums[i] += v
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	am := Row{Label: "AM"}
+	for _, s := range sums {
+		am.Values = append(am.Values, s/float64(len(t.Rows)))
+	}
+	t.Rows = append(t.Rows, am)
+	t.Notes = append(t.Notes, "paper: prefetching improves FS_RP by 11% and the baseline by 6.3%")
+	return t
+}
+
+// Figure8 regenerates the energy comparison: memory energy per demand read
+// normalized to the baseline, for the five secure schemes.
+func Figure8(r *Runner) Table {
+	t := Table{
+		ID:      "Figure 8",
+		Title:   "Normalized memory energy (baseline = 1.0)",
+		Columns: []string{"FS_RP", "FS_Reordered_BP", "TP_BP", "FS_NP_Optimized", "TP_NP"},
+	}
+	model := energy.NewModel(sim.DefaultConfig(workload.Mix{Name: "x"}, sim.Baseline).DRAM, energy.DDR3_4Gb())
+	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank, sim.FSNoPartTriple, sim.TPNone}
+	sums := make([]float64, len(schemes))
+	for _, mix := range r.suite() {
+		base := r.run(mix, sim.Baseline, nil)
+		basePer := energy.PerRead(model.ForRun(base.Run, nil), base.Run)
+		row := Row{Label: mix.Name}
+		for i, k := range schemes {
+			res := r.run(mix, k, nil)
+			per := energy.PerRead(model.ForRun(res.Run, res.FS), res.Run)
+			row.Values = append(row.Values, per/basePer)
+			sums[i] += per / basePer
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	am := Row{Label: "AM"}
+	for _, s := range sums {
+		am.Values = append(am.Values, s/float64(len(t.Rows)))
+	}
+	t.Rows = append(t.Rows, am)
+	t.Notes = append(t.Notes, "paper: FS energy 11.4% below TP, within 19% of the baseline")
+	return t
+}
+
+// Figure9 regenerates the FS energy optimizations: FS_RP plain, then
+// cumulatively suppressed dummies, row-buffer boost, and power-down.
+func Figure9(r *Runner) Table {
+	t := Table{
+		ID:      "Figure 9",
+		Title:   "FS_RP energy optimizations (normalized to baseline = 1.0)",
+		Columns: []string{"FS_RP", "Suppressed_Dummy", "Row-buffer-opt", "Power-Down"},
+	}
+	model := energy.NewModel(sim.DefaultConfig(workload.Mix{Name: "x"}, sim.Baseline).DRAM, energy.DDR3_4Gb())
+	opts := []core.EnergyOpts{
+		{},
+		{SuppressDummies: true},
+		{SuppressDummies: true, RowBufferBoost: true},
+		{SuppressDummies: true, RowBufferBoost: true, PowerDown: true},
+	}
+	sums := make([]float64, len(opts))
+	for _, mix := range r.suite() {
+		base := r.run(mix, sim.Baseline, nil)
+		basePer := energy.PerRead(model.ForRun(base.Run, nil), base.Run)
+		row := Row{Label: mix.Name}
+		for i, o := range opts {
+			o := o
+			res := r.run(mix, sim.FSRankPart, func(c *sim.Config) { c.Energy = o })
+			per := energy.PerRead(model.ForRun(res.Run, res.FS), res.Run)
+			row.Values = append(row.Values, per/basePer)
+			sums[i] += per / basePer
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	am := Row{Label: "AM"}
+	for _, s := range sums {
+		am.Values = append(am.Values, s/float64(len(t.Rows)))
+	}
+	t.Rows = append(t.Rows, am)
+	t.Notes = append(t.Notes, "paper: the three optimizations cut FS memory energy by 52.5%, to within 3.4% of the baseline")
+	return t
+}
+
+// Figure10 regenerates the scalability study: FS_RP, FS_Reordered_BP, and
+// TP_BP at 8, 4, and 2 cores (normalized per core count).
+func Figure10(r *Runner) Table {
+	t := Table{
+		ID:      "Figure 10",
+		Title:   "Scalability: sum of weighted IPCs at 8/4/2 cores",
+		Columns: []string{"FS_RP", "FS_Reordered_BP", "TP"},
+	}
+	for _, cores := range []int{8, 4, 2} {
+		sub := NewRunner(Settings{Cores: cores, TargetReads: r.S.TargetReads, Seed: r.S.Seed})
+		var sums [3]float64
+		n := 0.0
+		for _, mix := range sub.suite() {
+			sums[0] += sub.weighted(mix, sim.FSRankPart, nil)
+			sums[1] += sub.weighted(mix, sim.FSReorderedBank, nil)
+			sums[2] += sub.weighted(mix, sim.TPBank, nil)
+			n++
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("%d cores", cores),
+			Values: []float64{sums[0] / n, sums[1] / n, sums[2] / n},
+		})
+	}
+	t.Notes = append(t.Notes, "paper: FS beats TP by 85% at 4 threads and 18% at 2 threads despite the same-rank hazard")
+	return t
+}
+
+// All regenerates every figure in order. Figure 4's profile series are
+// folded into its table.
+func All(r *Runner) []Table {
+	f4, _ := Figure4(r)
+	tables := []Table{Figure3(r), f4, Figure5(r), Figure6(r), Figure6Detail(r), Figure7(r), Figure8(r), Figure9(r), Figure10(r)}
+	return tables
+}
+
+// Names lists the available figure IDs.
+func Names() []string {
+	n := []string{"3", "4", "5", "6", "7", "8", "9", "10"}
+	sort.Strings(n)
+	return n
+}

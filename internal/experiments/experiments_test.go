@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallRunner() *Runner {
+	return NewRunner(Settings{Cores: 8, TargetReads: 3000, Seed: 42})
+}
+
+// TestFigure3Shape checks the design-space ordering the paper's Figure 3
+// summarizes: baseline > FS_RP > FS_Reordered_BP > TP_BP > TP_NP, and
+// triple alternation roughly doubling TP_NP.
+func TestFigure3Shape(t *testing.T) {
+	tab := Figure3(smallRunner())
+	if len(tab.Rows) != 1 || len(tab.Rows[0].Values) != 6 {
+		t.Fatalf("Figure3 shape: %+v", tab)
+	}
+	v := tab.Rows[0].Values
+	base, fsRP, fsReord, tpBP, fsTA, tpNP := v[0], v[1], v[2], v[3], v[4], v[5]
+	t.Logf("Figure 3: base=%.3f FS_RP=%.3f FS_ReordBP=%.3f TP_BP=%.3f FS_NP_TA=%.3f TP_NP=%.3f",
+		base, fsRP, fsReord, tpBP, fsTA, tpNP)
+	if base != 1.0 {
+		t.Errorf("baseline = %v, want 1.0", base)
+	}
+	if !(fsRP > fsReord && fsReord > tpBP && tpBP > tpNP) {
+		t.Errorf("ordering violated: FS_RP %.3f > FS_ReordBP %.3f > TP_BP %.3f > TP_NP %.3f", fsRP, fsReord, tpBP, tpNP)
+	}
+	if !(fsTA > 1.5*tpNP) {
+		t.Errorf("triple alternation %.3f should be well above TP_NP %.3f (paper: 2x)", fsTA, tpNP)
+	}
+	if fsRP >= 1.0 || fsRP <= 0.4 {
+		t.Errorf("FS_RP %.3f implausible (paper: 0.74)", fsRP)
+	}
+}
+
+func TestFigure4NonInterferenceSummary(t *testing.T) {
+	r := NewRunner(Settings{Cores: 8, TargetReads: 3000, Seed: 42})
+	tab, profiles := Figure4(r)
+	if len(profiles) != 4 {
+		t.Fatalf("want 4 profiles, got %d", len(profiles))
+	}
+	var baseDiv, fsDiv, fsIdent float64
+	for _, row := range tab.Rows {
+		switch row.Label {
+		case "Baseline":
+			baseDiv = row.Values[0]
+		case "FS_RP":
+			fsDiv, fsIdent = row.Values[0], row.Values[1]
+		}
+	}
+	if fsDiv != 0 || fsIdent != 1 {
+		t.Errorf("FS_RP divergence %v identical=%v, want 0 and 1", fsDiv, fsIdent)
+	}
+	if baseDiv <= 0.01 {
+		t.Errorf("baseline divergence %v, want visible divergence", baseDiv)
+	}
+}
+
+// TestFigure5MinimumTurnCompetitive: the paper concludes the smallest turn
+// length is best on average (wait time dominates bandwidth). On our
+// synthetic suite the coarse-grained turn occasionally edges ahead by a few
+// percent (the workloads saturate harder than SPEC; see EXPERIMENTS.md), so
+// the robust assertion is that the fine-grained turn is within 15% of the
+// best and clearly beats the longest turn for BP.
+func TestFigure5MinimumTurnCompetitive(t *testing.T) {
+	tab := Figure5(smallRunner())
+	am := tab.Rows[len(tab.Rows)-1]
+	if am.Label != "AM" {
+		t.Fatalf("last row %q, want AM", am.Label)
+	}
+	check := func(name string, v []float64) {
+		best := v[0]
+		for _, x := range v {
+			if x > best {
+				best = x
+			}
+		}
+		if v[0] < best*0.85 {
+			t.Errorf("%s: fine-grained turn %v more than 15%% below best %v (sweep %v)", name, v[0], best, v)
+		}
+	}
+	bp := am.Values[0:3]
+	np := am.Values[3:6]
+	check("BP", bp)
+	check("NP", np)
+	if bp[0] <= bp[2] {
+		t.Errorf("BP: fine-grained %v should beat the longest turn %v", bp[0], bp[2])
+	}
+	t.Logf("Figure 5 AM: BP %v NP %v", bp, np)
+}
+
+func TestFigure6HeadlineRatios(t *testing.T) {
+	tab := Figure6(smallRunner())
+	am := tab.Rows[len(tab.Rows)-1]
+	fsRP, fsReord, tpBP, fsTA, tpNP := am.Values[0], am.Values[1], am.Values[2], am.Values[3], am.Values[4]
+	t.Logf("Figure 6 AM: FS_RP=%.2f FS_ReordBP=%.2f TP_BP=%.2f FS_NP_TA=%.2f TP_NP=%.2f", fsRP, fsReord, tpBP, fsTA, tpNP)
+	// Paper: FS_RP ~69% over TP_BP. Accept a generous band: >25%.
+	if fsRP < tpBP*1.25 {
+		t.Errorf("FS_RP %.2f not clearly above TP_BP %.2f (paper: +69%%)", fsRP, tpBP)
+	}
+	if fsReord < tpBP*1.02 {
+		t.Errorf("FS_Reordered_BP %.2f should edge out TP_BP %.2f (paper: +11%%)", fsReord, tpBP)
+	}
+	if fsTA < tpNP*1.5 {
+		t.Errorf("FS_NP_Optimized %.2f should be well above TP_NP %.2f (paper: 2x)", fsTA, tpNP)
+	}
+}
+
+func TestFigure7PrefetchHelps(t *testing.T) {
+	tab := Figure7(smallRunner())
+	am := tab.Rows[len(tab.Rows)-1]
+	basePF, fsPF, fs := am.Values[0], am.Values[1], am.Values[2]
+	t.Logf("Figure 7 AM: Baseline+PF=%.2f FS_RP+PF=%.2f FS_RP=%.2f", basePF, fsPF, fs)
+	if fsPF < fs*0.99 {
+		t.Errorf("prefetching hurt FS_RP: %.3f vs %.3f", fsPF, fs)
+	}
+	if basePF < 7.0 {
+		t.Errorf("baseline+prefetch AM %.2f implausibly low", basePF)
+	}
+}
+
+func TestFigure8EnergyOrdering(t *testing.T) {
+	tab := Figure8(smallRunner())
+	am := tab.Rows[len(tab.Rows)-1]
+	fsRP, tpBP, tpNP := am.Values[0], am.Values[2], am.Values[4]
+	t.Logf("Figure 8 AM: FS_RP=%.2f TP_BP=%.2f TP_NP=%.2f", fsRP, tpBP, tpNP)
+	if fsRP <= 1.0 {
+		t.Errorf("FS_RP normalized energy %.3f should exceed the baseline's 1.0", fsRP)
+	}
+	if fsRP >= tpBP {
+		t.Errorf("FS_RP energy %.3f should undercut TP_BP %.3f (paper: 11.4%% lower)", fsRP, tpBP)
+	}
+	if tpBP >= tpNP {
+		t.Errorf("TP_BP energy %.3f should undercut TP_NP %.3f", tpBP, tpNP)
+	}
+}
+
+func TestFigure9OptimizationsMonotone(t *testing.T) {
+	tab := Figure9(smallRunner())
+	am := tab.Rows[len(tab.Rows)-1]
+	for i := 1; i < len(am.Values); i++ {
+		if am.Values[i] > am.Values[i-1]+1e-9 {
+			t.Errorf("energy optimization %d increased energy: %v", i, am.Values)
+		}
+	}
+	if last, first := am.Values[len(am.Values)-1], am.Values[0]; last > first*0.9 {
+		t.Errorf("optimizations only reduced energy from %.3f to %.3f (paper: -52.5%%)", first, last)
+	}
+}
+
+func TestFigure10Scales(t *testing.T) {
+	tab := Figure10(smallRunner())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 core counts, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		fsRP, tp := row.Values[0], row.Values[2]
+		if fsRP <= tp {
+			t.Errorf("%s: FS_RP %.2f should beat TP %.2f", row.Label, fsRP, tp)
+		}
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{
+		ID: "T", Title: "title", Columns: []string{"a", "b"},
+		Rows:  []Row{{Label: "w", Values: []float64{1, 2}}},
+		Notes: []string{"n"},
+	}
+	s := tab.Format()
+	for _, want := range []string{"T", "title", "a", "b", "w", "1.000", "2.000", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q in:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package leakage
+
+import (
+	"testing"
+
+	"fsmem/internal/sim"
+)
+
+func TestKolmogorovSmirnovEstimator(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(same, same); d != 0 {
+		t.Errorf("KS(same, same) = %v, want 0", d)
+	}
+	lo := []float64{1, 1.2, 0.8, 1.1}
+	hi := []float64{10, 10.2, 9.8, 10.1}
+	if d := KolmogorovSmirnov(lo, hi); d != 1 {
+		t.Errorf("KS(separated) = %v, want 1", d)
+	}
+	if d := KolmogorovSmirnov(nil, hi); d != 0 {
+		t.Errorf("KS(nil, x) = %v, want 0", d)
+	}
+	// Overlapping distributions land strictly between.
+	a := []float64{1, 2, 3, 4, 5, 6}
+	b := []float64{4, 5, 6, 7, 8, 9}
+	if d := KolmogorovSmirnov(a, b); d <= 0 || d >= 1 {
+		t.Errorf("KS(overlap) = %v, want in (0,1)", d)
+	}
+}
+
+func TestKolmogorovSmirnovOnSchedulers(t *testing.T) {
+	base0 := collect(t, sim.Baseline, 0.01)
+	base1 := collect(t, sim.Baseline, 45)
+	fs0 := collect(t, sim.FSRankPart, 0.01)
+	fs1 := collect(t, sim.FSRankPart, 45)
+	ksBase := KolmogorovSmirnov(EpochDurations(base0), EpochDurations(base1))
+	ksFS := KolmogorovSmirnov(EpochDurations(fs0), EpochDurations(fs1))
+	t.Logf("KS statistic: baseline %.3f, FS_RP %.3f", ksBase, ksFS)
+	if ksFS != 0 {
+		t.Errorf("FS KS statistic %v, want exactly 0", ksFS)
+	}
+	if ksBase < 0.5 {
+		t.Errorf("baseline KS statistic %v, want clearly separated distributions", ksBase)
+	}
+}

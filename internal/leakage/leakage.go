@@ -1,0 +1,298 @@
+// Package leakage measures timing-channel information flow through the
+// memory controller: the Figure 4 execution-profile experiment (an attacker
+// thread timed against co-runners of different memory intensity), a
+// mutual-information estimate over the attacker's epoch timings, and a
+// covert-channel encode/decode harness.
+package leakage
+
+import (
+	"fmt"
+	"math"
+
+	"fsmem/internal/sim"
+	"fsmem/internal/workload"
+)
+
+// Profile is one execution profile: the CPU cycle at which the attacker
+// domain crossed each instruction milestone (Figure 4's Y values; the
+// paper samples every 10K instructions).
+type Profile struct {
+	Scheduler   string
+	CoRunner    string
+	Milestone   int64 // instructions per sample
+	CyclesAt    []int64
+	Instruction []int64
+}
+
+// CollectProfile runs the attacker benchmark as domain 0 against
+// (domains-1) co-runner copies of coRunner, sampling the attacker's
+// progress every milestone instructions until it retires totalInstr.
+func CollectProfile(k sim.SchedulerKind, attacker workload.Profile, coRunner workload.Profile,
+	domains int, milestone, totalInstr int64, seed uint64) (Profile, error) {
+
+	mix := workload.Mix{Name: "leakage", Profiles: make([]workload.Profile, domains)}
+	mix.Profiles[0] = attacker
+	for d := 1; d < domains; d++ {
+		mix.Profiles[d] = coRunner
+	}
+	cfg := sim.DefaultConfig(mix, k)
+	cfg.Seed = seed
+	cfg.TargetReads = 0 // run on instruction budget instead
+	cfg.MaxBusCycles = 200_000_000
+
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return Profile{}, err
+	}
+	prof := Profile{
+		Scheduler: k.String(),
+		CoRunner:  coRunner.Name,
+		Milestone: milestone,
+	}
+	next := milestone
+	cpuPerBus := int64(cfg.DRAM.CPUCyclesPerBusCycle)
+	for cycle := int64(0); cycle < cfg.MaxBusCycles; cycle++ {
+		sys.Step()
+		retired := sys.Controller().Dom[0].Instructions
+		for retired >= next {
+			prof.CyclesAt = append(prof.CyclesAt, (cycle+1)*cpuPerBus)
+			prof.Instruction = append(prof.Instruction, next)
+			next += milestone
+		}
+		if retired >= totalInstr {
+			return prof, nil
+		}
+	}
+	return prof, fmt.Errorf("leakage: attacker retired only %d of %d instructions before the cycle budget",
+		sys.Controller().Dom[0].Instructions, totalInstr)
+}
+
+// Divergence returns the maximum absolute difference between two profiles'
+// milestone times, normalized by the larger final time. Zero means the
+// attacker's observable progress is identical — the paper's
+// non-interference claim.
+func Divergence(a, b Profile) (float64, error) {
+	n := len(a.CyclesAt)
+	if len(b.CyclesAt) < n {
+		n = len(b.CyclesAt)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("leakage: empty profile")
+	}
+	var maxDiff float64
+	for i := 0; i < n; i++ {
+		d := math.Abs(float64(a.CyclesAt[i] - b.CyclesAt[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	den := float64(a.CyclesAt[n-1])
+	if f := float64(b.CyclesAt[n-1]); f > den {
+		den = f
+	}
+	return maxDiff / den, nil
+}
+
+// Identical reports whether two profiles are bit-identical over their
+// common prefix (the strict form of non-interference).
+func Identical(a, b Profile) bool {
+	n := len(a.CyclesAt)
+	if len(b.CyclesAt) < n {
+		n = len(b.CyclesAt)
+	}
+	for i := 0; i < n; i++ {
+		if a.CyclesAt[i] != b.CyclesAt[i] {
+			return false
+		}
+	}
+	return n > 0
+}
+
+// EpochDurations converts a profile into per-milestone durations, the
+// attacker's observable samples.
+func EpochDurations(p Profile) []float64 {
+	out := make([]float64, 0, len(p.CyclesAt))
+	prev := int64(0)
+	for _, c := range p.CyclesAt {
+		out = append(out, float64(c-prev))
+		prev = c
+	}
+	return out
+}
+
+// MutualInformationBits estimates I(victim class; epoch duration) in bits
+// with a plug-in histogram estimator: samples from class 0 and class 1 are
+// the attacker's epoch durations under two victim behaviors. Zero bits
+// means the observable distribution carries no information about the
+// victim; for a binary secret the maximum is 1 bit.
+func MutualInformationBits(class0, class1 []float64, bins int) float64 {
+	if bins <= 0 || len(class0) == 0 || len(class1) == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, xs := range [][]float64{class0, class1} {
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+	}
+	if hi <= lo {
+		// All observations identical: the channel is provably silent.
+		return 0
+	}
+	width := (hi - lo) / float64(bins)
+	hist := func(xs []float64) []float64 {
+		h := make([]float64, bins)
+		for _, x := range xs {
+			i := int((x - lo) / width)
+			if i >= bins {
+				i = bins - 1
+			}
+			h[i]++
+		}
+		for i := range h {
+			h[i] /= float64(len(xs))
+		}
+		return h
+	}
+	h0, h1 := hist(class0), hist(class1)
+	// Equal class priors.
+	mi := 0.0
+	for i := 0; i < bins; i++ {
+		m := (h0[i] + h1[i]) / 2
+		for _, p := range []float64{h0[i], h1[i]} {
+			if p > 0 && m > 0 {
+				mi += 0.5 * p * math.Log2(p/m)
+			}
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+// KolmogorovSmirnov returns the two-sample KS statistic between the
+// attacker's epoch-duration distributions under two victim behaviors:
+// sup_x |F0(x) - F1(x)|, in [0, 1]. Zero means the distributions are
+// indistinguishable; the baseline controller typically scores near 1.
+func KolmogorovSmirnov(class0, class1 []float64) float64 {
+	if len(class0) == 0 || len(class1) == 0 {
+		return 0
+	}
+	s0 := append([]float64(nil), class0...)
+	s1 := append([]float64(nil), class1...)
+	insertionSort(s0)
+	insertionSort(s1)
+	var i, j int
+	var d float64
+	for i < len(s0) && j < len(s1) {
+		// Step past the smallest current value in BOTH samples, so ties
+		// advance the two empirical CDFs together.
+		v := s0[i]
+		if s1[j] < v {
+			v = s1[j]
+		}
+		for i < len(s0) && s0[i] == v {
+			i++
+		}
+		for j < len(s1) && s1[j] == v {
+			j++
+		}
+		f0 := float64(i) / float64(len(s0))
+		f1 := float64(j) / float64(len(s1))
+		if diff := math.Abs(f0 - f1); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// CovertResult summarizes a covert-channel attempt.
+type CovertResult struct {
+	Scheduler string
+	Bits      int
+	Errors    int
+	// Decoded holds the bits the receiver recovered, aligned with the
+	// message.
+	Decoded []bool
+	// BitErrorRate 0 means a perfect channel; 0.5 means the receiver
+	// learned nothing.
+	BitErrorRate float64
+}
+
+// CovertChannel runs the §2.2-style covert channel: a sender domain
+// modulates its memory intensity per window (burst = 1, idle = 0) while a
+// receiver times its own fixed access loop per window and thresholds
+// against the median. Under the baseline the receiver decodes the message;
+// under FS the bit error rate collapses to chance.
+func CovertChannel(k sim.SchedulerKind, domains int, message []bool, windowBusCycles int64, seed uint64) (CovertResult, error) {
+	// Sender: domain 1 alternates between a heavy streaming profile and
+	// idling. Receiver: domain 0 runs a steady probe load. Implemented by
+	// running one simulation per window so the sender's behavior is a
+	// per-window choice, exactly like a sender flipping load phases.
+	probe := workload.Synthetic("probe", 25)
+	heavy := workload.Synthetic("burst", 40)
+	idle := workload.Synthetic("quiet", 0.01)
+
+	durations := make([]float64, len(message))
+	for i, bit := range message {
+		victim := idle
+		if bit {
+			victim = heavy
+		}
+		mix := workload.Mix{Name: "covert", Profiles: make([]workload.Profile, domains)}
+		mix.Profiles[0] = probe
+		for d := 1; d < domains; d++ {
+			mix.Profiles[d] = victim
+		}
+		cfg := sim.DefaultConfig(mix, k)
+		cfg.Seed = seed // same seed per window: the only varying input is the sender's behavior
+		cfg.TargetReads = 0
+		cfg.MaxBusCycles = windowBusCycles
+		res, err := sim.Simulate(cfg)
+		if err != nil {
+			return CovertResult{}, err
+		}
+		// Receiver observable: its own progress in the fixed window.
+		durations[i] = float64(res.Run.Domains[0].Instructions)
+	}
+
+	// Threshold halfway between the fastest and slowest windows (the
+	// attacker would calibrate the two levels the same way). A degenerate
+	// spread means the channel carried nothing; everything decodes to 0.
+	min, max := durations[0], durations[0]
+	for _, d := range durations {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	thr := (min + max) / 2
+	errors := 0
+	decoded := make([]bool, len(message))
+	for i, bit := range message {
+		rx := max > min && durations[i] < thr // contention slows the receiver
+		decoded[i] = rx
+		if rx != bit {
+			errors++
+		}
+	}
+	return CovertResult{
+		Scheduler:    k.String(),
+		Bits:         len(message),
+		Errors:       errors,
+		Decoded:      decoded,
+		BitErrorRate: float64(errors) / float64(len(message)),
+	}, nil
+}

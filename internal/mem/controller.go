@@ -1,0 +1,328 @@
+// Package mem implements the memory-controller shell shared by every
+// scheduling policy: per-security-domain transaction queues, write buffers,
+// the completion machinery that returns read data to cores, and an optional
+// per-domain prefetch engine. Scheduling policy itself is pluggable — the
+// non-secure baseline and Temporal Partitioning live in internal/sched, the
+// Fixed Service family in internal/core.
+package mem
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fsmem/internal/dram"
+	"fsmem/internal/prefetch"
+	"fsmem/internal/stats"
+)
+
+// Request is one memory transaction from arrival at the controller to data
+// delivery.
+type Request struct {
+	Domain   int
+	Write    bool
+	Addr     dram.Address
+	Arrive   int64 // bus cycle the request entered the controller
+	FirstCmd int64 // bus cycle of its first DRAM command (-1 until issued)
+	DataEnd  int64 // bus cycle its data burst completes (-1 until known)
+
+	Dummy    bool // injected by FS shaping, carries no data
+	Prefetch bool // injected into an FS dummy slot or by the baseline
+	Acted    bool // an ACT was issued for this request (false on a row hit)
+
+	done func() // completion callback to the core (nil for writes/dummies)
+}
+
+// Scheduler is a memory scheduling policy. Tick is called once per DRAM bus
+// cycle and may issue at most one command on the channel's command bus via
+// the controller helpers.
+type Scheduler interface {
+	Name() string
+	Tick(c *Controller)
+}
+
+type completion struct {
+	cycle int64
+	req   *Request
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Config sizes the controller.
+type Config struct {
+	Domains  int
+	ReadCap  int // per-domain read transaction queue capacity
+	WriteCap int // per-domain write buffer capacity
+	// PrefetchBufCap, when > 0 with prefetching enabled, is the per-domain
+	// prefetch buffer capacity (completed prefetches waiting to be hit).
+	PrefetchBufCap int
+}
+
+// DefaultConfig returns the controller sizing used in the evaluation.
+func DefaultConfig(domains int) Config {
+	return Config{Domains: domains, ReadCap: 32, WriteCap: 32, PrefetchBufCap: 64}
+}
+
+// Controller is the memory-controller shell for one channel.
+type Controller struct {
+	P    dram.Params
+	Cfg  Config
+	Chan *dram.Channel
+
+	Cycle int64
+
+	ReadQ  [][]*Request // per-domain demand reads, arrival order
+	WriteQ [][]*Request // per-domain write-backs, arrival order
+
+	Dom []stats.Domain
+	// LatHist collects per-domain demand-read latency distributions.
+	LatHist []*stats.Histogram
+
+	sched       Scheduler
+	completions completionHeap
+
+	// Prefetch support (nil when disabled).
+	Prefetchers []*prefetch.Sandbox
+	pfBuf       []map[uint64]int64 // per-domain: line key -> fill cycle
+}
+
+// NewController builds a controller around a fresh channel.
+func NewController(p dram.Params, cfg Config, sched Scheduler) *Controller {
+	c := &Controller{
+		P:    p,
+		Cfg:  cfg,
+		Chan: dram.NewChannel(p),
+		Dom:  make([]stats.Domain, cfg.Domains),
+
+		sched: sched,
+	}
+	c.LatHist = make([]*stats.Histogram, cfg.Domains)
+	for d := range c.LatHist {
+		c.LatHist[d] = stats.NewLatencyHistogram()
+	}
+	c.ReadQ = make([][]*Request, cfg.Domains)
+	c.WriteQ = make([][]*Request, cfg.Domains)
+	return c
+}
+
+// Scheduler returns the active scheduling policy.
+func (c *Controller) Scheduler() Scheduler { return c.sched }
+
+// SetScheduler swaps the scheduling policy. The caller must have drained
+// the controller first (see sim.System.Reconfigure): swapping with work in
+// flight would hand the new policy requests whose commands are half
+// issued.
+func (c *Controller) SetScheduler(s Scheduler) { c.sched = s }
+
+// EnablePrefetch attaches one sandbox prefetcher per domain.
+func (c *Controller) EnablePrefetch(mk func(domain int) *prefetch.Sandbox) {
+	c.Prefetchers = make([]*prefetch.Sandbox, c.Cfg.Domains)
+	c.pfBuf = make([]map[uint64]int64, c.Cfg.Domains)
+	for d := 0; d < c.Cfg.Domains; d++ {
+		c.Prefetchers[d] = mk(d)
+		c.pfBuf[d] = make(map[uint64]int64)
+	}
+}
+
+func lineKey(a dram.Address) uint64 {
+	return uint64(a.Channel)<<48 | uint64(a.Rank)<<40 | uint64(a.Bank)<<32 |
+		uint64(a.Row)<<12 | uint64(a.Col)
+}
+
+// EnqueueRead submits a demand read; done runs when data is delivered.
+// Returns false when the domain's read queue is full.
+func (c *Controller) EnqueueRead(domain int, a dram.Address, done func()) bool {
+	if c.Prefetchers != nil {
+		c.Prefetchers[domain].Observe(a)
+		if _, hit := c.pfBuf[domain][lineKey(a)]; hit {
+			delete(c.pfBuf[domain], lineKey(a))
+			c.Dom[domain].UsefulPrefetches++
+			// Serviced from the prefetch buffer: near-immediate completion.
+			heap.Push(&c.completions, completion{cycle: c.Cycle + 1, req: &Request{
+				Domain: domain, Addr: a, Arrive: c.Cycle, done: done,
+			}})
+			return true
+		}
+	}
+	if len(c.ReadQ[domain]) >= c.Cfg.ReadCap {
+		return false
+	}
+	c.ReadQ[domain] = append(c.ReadQ[domain], &Request{
+		Domain: domain, Addr: a, Arrive: c.Cycle, FirstCmd: -1, DataEnd: -1, done: done,
+	})
+	return true
+}
+
+// EnqueueWrite submits a write-back. Returns false when the write buffer is
+// full.
+func (c *Controller) EnqueueWrite(domain int, a dram.Address) bool {
+	if len(c.WriteQ[domain]) >= c.Cfg.WriteCap {
+		return false
+	}
+	c.WriteQ[domain] = append(c.WriteQ[domain], &Request{
+		Domain: domain, Write: true, Addr: a, Arrive: c.Cycle, FirstCmd: -1, DataEnd: -1,
+	})
+	return true
+}
+
+// NextPrefetch pops a high-confidence prefetch candidate for the domain, or
+// ok=false if prefetching is disabled or nothing is queued.
+func (c *Controller) NextPrefetch(domain int) (dram.Address, bool) {
+	if c.Prefetchers == nil {
+		return dram.Address{}, false
+	}
+	return c.Prefetchers[domain].NextCandidate()
+}
+
+// Issue places a command on the channel at the current cycle.
+func (c *Controller) Issue(cmd dram.Command) error {
+	return c.Chan.Issue(cmd, c.Cycle)
+}
+
+// IssueSuppressed places a command whose timing footprint is modeled but
+// whose DRAM operation is elided (FS energy optimizations).
+func (c *Controller) IssueSuppressed(cmd dram.Command) error {
+	return c.Chan.IssueEx(cmd, c.Cycle, true)
+}
+
+// CompleteAt schedules the request's completion bookkeeping (and its core
+// callback for demand reads) at the given cycle, which is when the paper's
+// release policy makes the data visible — normally the end of the data
+// burst, or the end of the Q-cycle interval under reordered bank
+// partitioning.
+func (c *Controller) CompleteAt(req *Request, cycle int64) {
+	heap.Push(&c.completions, completion{cycle: cycle, req: req})
+}
+
+// RecordFirstCommand notes queue delay when a request's first command
+// issues.
+func (c *Controller) RecordFirstCommand(req *Request) {
+	if req.FirstCmd >= 0 {
+		return
+	}
+	req.FirstCmd = c.Cycle
+	if !req.Dummy && !req.Prefetch {
+		c.Dom[req.Domain].QueueDelaySum += c.Cycle - req.Arrive
+	}
+}
+
+// Tick advances the controller by one bus cycle: deliver due completions,
+// then let the policy issue.
+func (c *Controller) Tick() {
+	for len(c.completions) > 0 && c.completions[0].cycle <= c.Cycle {
+		comp := heap.Pop(&c.completions).(completion)
+		c.finish(comp.req)
+	}
+	c.sched.Tick(c)
+	c.Cycle++
+}
+
+func (c *Controller) finish(req *Request) {
+	d := &c.Dom[req.Domain]
+	switch {
+	case req.Dummy:
+		d.Dummies++
+	case req.Prefetch:
+		d.Prefetches++
+		if c.pfBuf != nil {
+			buf := c.pfBuf[req.Domain]
+			if len(buf) >= c.Cfg.PrefetchBufCap {
+				// Evict the oldest fill.
+				var oldKey uint64
+				oldCycle := int64(1<<62 - 1)
+				for k, v := range buf {
+					if v < oldCycle {
+						oldCycle, oldKey = v, k
+					}
+				}
+				delete(buf, oldKey)
+			}
+			buf[lineKey(req.Addr)] = c.Cycle
+		}
+	case req.Write:
+		d.Writes++
+	default:
+		d.Reads++
+		d.ReadLatencySum += c.Cycle - req.Arrive
+		d.ReadLatencyCount++
+		c.LatHist[req.Domain].Observe(c.Cycle - req.Arrive)
+		if req.done != nil {
+			req.done()
+		}
+	}
+}
+
+// PopRead removes and returns the oldest read of the domain, or nil.
+func (c *Controller) PopRead(domain int) *Request {
+	q := c.ReadQ[domain]
+	if len(q) == 0 {
+		return nil
+	}
+	c.ReadQ[domain] = q[1:]
+	return q[0]
+}
+
+// PopWrite removes and returns the oldest write of the domain, or nil.
+func (c *Controller) PopWrite(domain int) *Request {
+	q := c.WriteQ[domain]
+	if len(q) == 0 {
+		return nil
+	}
+	c.WriteQ[domain] = q[1:]
+	return q[0]
+}
+
+// RemoveRead deletes the request from its domain's read queue.
+func (c *Controller) RemoveRead(req *Request) {
+	c.removeFrom(c.ReadQ, req)
+}
+
+// RemoveWrite deletes the request from its domain's write queue.
+func (c *Controller) RemoveWrite(req *Request) {
+	c.removeFrom(c.WriteQ, req)
+}
+
+func (c *Controller) removeFrom(qs [][]*Request, req *Request) {
+	q := qs[req.Domain]
+	for i, r := range q {
+		if r == req {
+			qs[req.Domain] = append(q[:i:i], q[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("mem: request %+v not in queue", req))
+}
+
+// PendingReads returns the total queued demand reads across domains.
+func (c *Controller) PendingReads() int {
+	n := 0
+	for _, q := range c.ReadQ {
+		n += len(q)
+	}
+	return n
+}
+
+// PendingWrites returns the total buffered writes across domains.
+func (c *Controller) PendingWrites() int {
+	n := 0
+	for _, q := range c.WriteQ {
+		n += len(q)
+	}
+	return n
+}
+
+// Drained reports whether no work remains anywhere in the controller.
+func (c *Controller) Drained() bool {
+	return c.PendingReads() == 0 && c.PendingWrites() == 0 && len(c.completions) == 0
+}

@@ -1,0 +1,102 @@
+// Package model provides first-order analytical predictions for the Fixed
+// Service pipelines — closed-form latency and bandwidth expressions that
+// the tests validate against the cycle-accurate simulator. They are useful
+// for SLA planning (how much bandwidth does a domain need before its
+// latency explodes?) without running a simulation.
+package model
+
+import (
+	"math"
+
+	"fsmem/internal/dram"
+)
+
+// FSDomain describes one domain's service under a Fixed Service schedule.
+type FSDomain struct {
+	Q     float64 // interval length in bus cycles
+	Slots float64 // issue slots per interval for this domain
+}
+
+// ServiceRate returns the domain's guaranteed transactions per bus cycle.
+func (d FSDomain) ServiceRate() float64 {
+	if d.Q <= 0 {
+		return 0
+	}
+	return d.Slots / d.Q
+}
+
+// Utilization returns the offered load as a fraction of the guaranteed
+// service (rho).
+func (d FSDomain) Utilization(lambda float64) float64 {
+	mu := d.ServiceRate()
+	if mu <= 0 {
+		return math.Inf(1)
+	}
+	return lambda / mu
+}
+
+// ReadLatency predicts the mean demand-read latency in bus cycles for a
+// domain injecting lambda transactions per bus cycle:
+//
+//	latency = queue wait (M/D/1) + slot residual + pipeline delay
+//	        = rho*T/(2(1-rho))  + T/2           + tRCD + tCAS + tBURST
+//
+// where T = Q/Slots is the per-slot period. The M/D/1 form follows from
+// deterministic service at fixed slots. It assumes OPEN arrivals: a real
+// core's reorder buffer closes the loop and self-throttles near
+// saturation, so the prediction is accurate at low utilization and an
+// overestimate as rho approaches 1 (the simulator's closed-loop latency
+// plateaus around MLP x T instead of diverging). The tests validate the
+// low-rho regime against the cycle-accurate simulator.
+func (d FSDomain) ReadLatency(lambda float64, p dram.Params) float64 {
+	mu := d.ServiceRate()
+	if mu <= 0 {
+		return math.Inf(1)
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	t := 1 / mu
+	queue := rho * t / (2 * (1 - rho))
+	residual := t / 2
+	pipeline := float64(p.TRCD + p.TCAS + p.TBURST)
+	return queue + residual + pipeline
+}
+
+// SaturationLambda returns the injection rate at which the predicted
+// latency crosses the given bound — the knee of the latency curve.
+func (d FSDomain) SaturationLambda(latencyBound float64, p dram.Params) float64 {
+	mu := d.ServiceRate()
+	if mu <= 0 {
+		return 0
+	}
+	// Solve rho*T/(2(1-rho)) + T/2 + c = bound for rho.
+	t := 1 / mu
+	c := float64(p.TRCD + p.TCAS + p.TBURST)
+	rhs := latencyBound - t/2 - c
+	if rhs <= 0 {
+		return 0
+	}
+	// rho = 2*rhs / (t + 2*rhs)
+	rho := 2 * rhs / (t + 2*rhs)
+	return rho * mu
+}
+
+// PeakBusUtilization returns the theoretical peak data-bus utilization of
+// a uniform-slot FS schedule with the given slot spacing.
+func PeakBusUtilization(slotSpacing int, p dram.Params) float64 {
+	if slotSpacing <= 0 {
+		return 0
+	}
+	return float64(p.TBURST) / float64(slotSpacing)
+}
+
+// TPRoundLatency predicts the mean read latency under fine-grained
+// temporal partitioning with the given turn length and domain count: the
+// owner's slot recurs every turn*domains cycles, so the same slotted-
+// service form applies with T = turn * domains.
+func TPRoundLatency(turn float64, domains int, lambda float64, p dram.Params) float64 {
+	d := FSDomain{Q: turn * float64(domains), Slots: 1}
+	return d.ReadLatency(lambda, p)
+}

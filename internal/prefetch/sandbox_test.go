@@ -1,0 +1,166 @@
+package prefetch
+
+import (
+	"testing"
+
+	"fsmem/internal/dram"
+)
+
+func TestSandboxPromotesUnitStride(t *testing.T) {
+	s := New(dram.DDR3_1600())
+	// A pure +1-stride stream: the +1 candidate scores ~100% in its
+	// sandbox period and must be promoted.
+	a := dram.Address{Rank: 0, Bank: 0, Row: 10, Col: 0}
+	for i := 0; i < 4*evalPeriod; i++ {
+		s.Observe(a)
+		a.Col++
+		if a.Col >= s.geom.ColsPerRow {
+			a.Col = 0
+			a.Row++
+		}
+		// Drain the queue so generation never blocks promotion observation.
+		for {
+			if _, ok := s.NextCandidate(); !ok {
+				break
+			}
+		}
+	}
+	found := false
+	for _, off := range s.ActiveOffsets() {
+		if off == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("+1 stride not promoted; active = %v", s.ActiveOffsets())
+	}
+}
+
+func TestSandboxGeneratesPrefetchesAfterPromotion(t *testing.T) {
+	s := New(dram.DDR3_1600())
+	a := dram.Address{Rank: 1, Bank: 2, Row: 5, Col: 0}
+	var got []dram.Address
+	for i := 0; i < 6*evalPeriod; i++ {
+		s.Observe(a)
+		a.Col = (a.Col + 1) % s.geom.ColsPerRow
+		if a.Col == 0 {
+			a.Row++
+		}
+		for {
+			pa, ok := s.NextCandidate()
+			if !ok {
+				break
+			}
+			got = append(got, pa)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no prefetch candidates generated")
+	}
+	for _, pa := range got {
+		if pa.Rank != 1 || pa.Bank != 2 {
+			t.Fatalf("prefetch escaped its bank: %v", pa)
+		}
+	}
+}
+
+func TestSandboxIgnoresRandomStream(t *testing.T) {
+	s := New(dram.DDR3_1600())
+	seed := uint64(99)
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	for i := 0; i < 8*evalPeriod; i++ {
+		s.Observe(dram.Address{
+			Rank: int(next() % 8), Bank: int(next() % 8),
+			Row: int(next() % 4096), Col: int(next() % 128),
+		})
+		for {
+			if _, ok := s.NextCandidate(); !ok {
+				break
+			}
+		}
+	}
+	if n := len(s.ActiveOffsets()); n > 1 {
+		t.Errorf("random stream promoted %d offsets: %v", n, s.ActiveOffsets())
+	}
+}
+
+func TestQueueBoundedAndDeduplicated(t *testing.T) {
+	s := New(dram.DDR3_1600())
+	// Force a promoted offset directly.
+	s.promote(1, evalPeriod)
+	a := dram.Address{Rank: 0, Bank: 0, Row: 1, Col: 1}
+	for i := 0; i < 100; i++ {
+		s.Observe(a) // same address repeatedly: queue must not grow or duplicate
+	}
+	if len(s.queue) > maxQueue {
+		t.Fatalf("queue grew to %d (max %d)", len(s.queue), maxQueue)
+	}
+	seen := map[dram.Address]bool{}
+	for {
+		pa, ok := s.NextCandidate()
+		if !ok {
+			break
+		}
+		if seen[pa] {
+			t.Fatalf("duplicate queued prefetch %v", pa)
+		}
+		seen[pa] = true
+	}
+}
+
+func TestOffsetAddrBounds(t *testing.T) {
+	s := New(dram.DDR3_1600())
+	if _, ok := s.offsetAddr(dram.Address{Row: 0, Col: 0}, -1); ok {
+		t.Error("offset below bank start should fail")
+	}
+	last := dram.Address{Row: s.geom.RowsPerBank - 1, Col: s.geom.ColsPerRow - 1}
+	if _, ok := s.offsetAddr(last, 1); ok {
+		t.Error("offset past bank end should fail")
+	}
+	got, ok := s.offsetAddr(dram.Address{Row: 3, Col: s.geom.ColsPerRow - 1}, 1)
+	if !ok || got.Row != 4 || got.Col != 0 {
+		t.Errorf("row carry broken: %v %v", got, ok)
+	}
+}
+
+func TestPromotionEvictsWeakest(t *testing.T) {
+	s := New(dram.DDR3_1600())
+	for i, off := range []int{1, -1, 2, -2} {
+		s.promote(off, 10+i)
+	}
+	s.promote(8, 100) // stronger than all
+	offs := s.ActiveOffsets()
+	if len(offs) != maxActive {
+		t.Fatalf("active = %v", offs)
+	}
+	has := func(o int) bool {
+		for _, x := range offs {
+			if x == o {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(8) {
+		t.Error("strong offset not admitted")
+	}
+	if has(1) {
+		t.Error("weakest offset not evicted")
+	}
+	s.demote(8)
+	if has8 := func() bool {
+		for _, x := range s.ActiveOffsets() {
+			if x == 8 {
+				return true
+			}
+		}
+		return false
+	}(); has8 {
+		t.Error("demote failed")
+	}
+}

@@ -1,0 +1,203 @@
+// Package sched contains the non-FS scheduling policies the paper compares
+// against: an optimized non-secure baseline in the FR-FCFS family (standing
+// in for the Memory Scheduling Championship 2012 winner) and Temporal
+// Partitioning (Wang et al., HPCA 2014).
+package sched
+
+import (
+	"fsmem/internal/dram"
+	"fsmem/internal/mem"
+)
+
+// Baseline is the optimized non-secure scheduler: open-page FR-FCFS with
+// row-hit-first command selection, read-over-write priority, and
+// watermark-based write draining. It freely mixes requests from all
+// domains, which is precisely the behavior that leaks timing information.
+type Baseline struct {
+	p dram.Params
+
+	// Write-drain watermarks as fractions of total write-buffer capacity.
+	hi, lo int
+
+	draining bool
+
+	// Refresh state (per rank), active when RefreshEnabled.
+	RefreshEnabled  bool
+	refreshDeadline []int64
+}
+
+// NewBaseline builds the baseline policy for the given parameters and
+// per-domain controller configuration.
+func NewBaseline(p dram.Params, cfg mem.Config) *Baseline {
+	total := cfg.WriteCap * cfg.Domains
+	b := &Baseline{
+		p:  p,
+		hi: total * 3 / 4,
+		lo: total / 4,
+	}
+	b.refreshDeadline = make([]int64, p.RanksPerChan)
+	for r := range b.refreshDeadline {
+		b.refreshDeadline[r] = int64(p.TREFI)
+	}
+	return b
+}
+
+// Name implements mem.Scheduler.
+func (b *Baseline) Name() string { return "baseline" }
+
+// Tick issues at most one command according to FR-FCFS priorities.
+func (b *Baseline) Tick(c *mem.Controller) {
+	if b.RefreshEnabled && b.tickRefresh(c) {
+		return
+	}
+
+	pw := c.PendingWrites()
+	if pw >= b.hi {
+		b.draining = true
+	}
+	if pw <= b.lo {
+		b.draining = false
+	}
+
+	writesFirst := b.draining || c.PendingReads() == 0
+	if writesFirst {
+		if b.serve(c, true) || b.serve(c, false) {
+			return
+		}
+	} else {
+		if b.serve(c, false) || b.serve(c, true) {
+			return
+		}
+	}
+}
+
+// serve attempts one command for the given request class. Priority order:
+//  1. column access for the oldest row-hit request,
+//  2. activate for the oldest request to a closed bank,
+//  3. precharge for a bank whose oldest request is a row conflict and no
+//     queued request still wants the open row.
+func (b *Baseline) serve(c *mem.Controller, writes bool) bool {
+	reqs := b.gather(c, writes)
+	if len(reqs) == 0 {
+		return false
+	}
+
+	// 1. Row hits, oldest first.
+	for _, r := range reqs {
+		if c.Chan.OpenRow(r.Addr.Rank, r.Addr.Bank) == r.Addr.Row {
+			if b.issueCAS(c, r, writes) {
+				return true
+			}
+		}
+	}
+	// 2. Activates for closed banks, oldest first.
+	for _, r := range reqs {
+		if c.Chan.OpenRow(r.Addr.Rank, r.Addr.Bank) == dram.ClosedRow {
+			cmd := dram.Command{Kind: dram.KindActivate, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Row: r.Addr.Row}
+			if c.Issue(cmd) == nil {
+				c.RecordFirstCommand(r)
+				r.Acted = true
+				return true
+			}
+		}
+	}
+	// 3. Precharge row conflicts with no remaining hits to the open row.
+	for _, r := range reqs {
+		open := c.Chan.OpenRow(r.Addr.Rank, r.Addr.Bank)
+		if open == dram.ClosedRow || open == r.Addr.Row {
+			continue
+		}
+		if b.anyWantsRow(c, r.Addr.Rank, r.Addr.Bank, open) {
+			continue
+		}
+		cmd := dram.Command{Kind: dram.KindPrecharge, Rank: r.Addr.Rank, Bank: r.Addr.Bank}
+		if c.Issue(cmd) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// gather flattens per-domain queues into a single age-ordered view.
+func (b *Baseline) gather(c *mem.Controller, writes bool) []*mem.Request {
+	qs := c.ReadQ
+	if writes {
+		qs = c.WriteQ
+	}
+	var out []*mem.Request
+	for _, q := range qs {
+		out = append(out, q...)
+	}
+	// Insertion sort by arrival: queues are individually ordered and small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Arrive < out[j-1].Arrive; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (b *Baseline) anyWantsRow(c *mem.Controller, rank, bank, row int) bool {
+	for _, qs := range [][][]*mem.Request{c.ReadQ, c.WriteQ} {
+		for _, q := range qs {
+			for _, r := range q {
+				if r.Addr.Rank == rank && r.Addr.Bank == bank && r.Addr.Row == row {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (b *Baseline) issueCAS(c *mem.Controller, r *mem.Request, write bool) bool {
+	kind := dram.KindRead
+	dataStart := b.p.ReadDataStart()
+	if write {
+		kind = dram.KindWrite
+		dataStart = b.p.WriteDataStart()
+	}
+	cmd := dram.Command{Kind: kind, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Col: r.Addr.Col}
+	if c.Issue(cmd) != nil {
+		return false
+	}
+	c.RecordFirstCommand(r)
+	if !r.Acted {
+		c.Dom[r.Domain].RowHits++
+	}
+	r.DataEnd = c.Cycle + int64(dataStart) + int64(b.p.TBURST)
+	if write {
+		c.RemoveWrite(r)
+	} else {
+		c.RemoveRead(r)
+	}
+	c.CompleteAt(r, r.DataEnd)
+	return true
+}
+
+// tickRefresh manages per-rank refresh: when a deadline passes, open banks
+// are precharged and REF issued; returns true if it used the command bus.
+func (b *Baseline) tickRefresh(c *mem.Controller) bool {
+	for rank := range b.refreshDeadline {
+		if c.Cycle < b.refreshDeadline[rank] {
+			continue
+		}
+		// Close any open bank first.
+		for bank := 0; bank < b.p.BanksPerRank; bank++ {
+			if c.Chan.OpenRow(rank, bank) != dram.ClosedRow {
+				cmd := dram.Command{Kind: dram.KindPrecharge, Rank: rank, Bank: bank}
+				if c.Issue(cmd) == nil {
+					return true
+				}
+				return false // blocked this cycle; retry next
+			}
+		}
+		cmd := dram.Command{Kind: dram.KindRefresh, Rank: rank}
+		if c.Issue(cmd) == nil {
+			b.refreshDeadline[rank] += int64(b.p.TREFI)
+			return true
+		}
+		return false
+	}
+	return false
+}

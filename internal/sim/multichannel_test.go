@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"fsmem/internal/stats"
+	"fsmem/internal/workload"
+)
+
+// TestSimulateChannelsTargetSystem runs the paper's Section 6 target
+// system: 32 cores over 4 channels, each channel running FS_RP across its
+// 8 domains.
+func TestSimulateChannelsTargetSystem(t *testing.T) {
+	mix, err := workload.Rate("milc", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(mix, FSRankPart)
+	cfg.TargetReads = 1200
+	merged, per, err := SimulateChannels(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 4 {
+		t.Fatalf("got %d channel results", len(per))
+	}
+	if len(merged.Domains) != 32 {
+		t.Fatalf("merged domains = %d, want 32", len(merged.Domains))
+	}
+	if merged.TotalReads() < 4*1200 {
+		t.Fatalf("merged reads = %d", merged.TotalReads())
+	}
+	for d, dom := range merged.Domains {
+		if dom.IPC() <= 0 {
+			t.Errorf("domain %d idle", d)
+		}
+	}
+}
+
+// TestSimulateChannelsIsolation: channels are independent hardware, so one
+// channel's workload cannot affect another channel's statistics at all.
+func TestSimulateChannelsIsolation(t *testing.T) {
+	mk := func(hot bool) []workload.Profile {
+		ps := make([]workload.Profile, 16)
+		for i := range ps {
+			ps[i] = workload.Synthetic("calm", 5)
+		}
+		if hot {
+			for i := 8; i < 16; i++ {
+				ps[i] = workload.Synthetic("hot", 45)
+			}
+		}
+		return ps
+	}
+	run := func(hot bool) stats.Run {
+		cfg := DefaultConfig(workload.Mix{Name: "iso", Profiles: mk(hot)}, FSRankPart)
+		cfg.TargetReads = 0
+		cfg.MaxBusCycles = 100_000
+		merged, _, err := SimulateChannels(cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return merged
+	}
+	a := run(false)
+	b := run(true)
+	for d := 0; d < 8; d++ {
+		if a.Domains[d] != b.Domains[d] {
+			t.Fatalf("channel 0 domain %d perturbed by channel 1's workload", d)
+		}
+	}
+}
+
+func TestSimulateChannelsErrors(t *testing.T) {
+	mix, _ := workload.Rate("milc", 8)
+	cfg := DefaultConfig(mix, FSRankPart)
+	if _, _, err := SimulateChannels(cfg, 0); err == nil {
+		t.Error("0 channels should fail")
+	}
+	if _, _, err := SimulateChannels(cfg, 3); err == nil {
+		t.Error("uneven split should fail")
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"fsmem/internal/workload"
+)
+
+// TestReconfigureSLA performs the §5.1 SLA change mid-run: drain, swap to
+// weighted slots, keep running. The channel model validates every command,
+// so a broken handover would panic.
+func TestReconfigureSLA(t *testing.T) {
+	mix, err := workload.Rate("milc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(mix, FSRankPart)
+	cfg.TargetReads = 0
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 60_000; i++ {
+		sys.Step()
+	}
+	var before []int64
+	for d := range sys.Controller().Dom {
+		before = append(before, sys.Controller().Dom[d].Reads)
+	}
+
+	if err := sys.Reconfigure([]int{3, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 120_000; i++ {
+		sys.Step()
+	}
+	ctl := sys.Controller()
+	d0 := ctl.Dom[0].Reads - before[0]
+	d1 := ctl.Dom[1].Reads - before[1]
+	if d0 == 0 || d1 == 0 {
+		t.Fatalf("service stalled after reconfiguration: %d / %d", d0, d1)
+	}
+	// Domain 0 now holds 3 of 6 slots; under saturation it should clearly
+	// out-serve a weight-1 domain.
+	if float64(d0) < 1.5*float64(d1) {
+		t.Errorf("post-reconfiguration service ratio %.2f (reads %d vs %d), want > 1.5", float64(d0)/float64(d1), d0, d1)
+	}
+}
+
+// TestReconfigureRejectsNonFS pins the documented restriction.
+func TestReconfigureRejectsNonFS(t *testing.T) {
+	mix, err := workload.Rate("milc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(DefaultConfig(mix, Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Reconfigure([]int{2, 1, 1, 1}); err == nil {
+		t.Fatal("baseline reconfiguration should be rejected")
+	}
+}

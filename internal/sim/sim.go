@@ -1,0 +1,345 @@
+// Package sim assembles the full system: one core per security domain
+// driving a synthetic workload through a ROB model, a memory controller
+// with a pluggable scheduling policy, and the cycle-accurate DRAM channel.
+// The clock loop ticks in DRAM bus cycles; cores run CPUCyclesPerBusCycle
+// CPU cycles per tick (4 at 3.2 GHz / DDR3-1600).
+package sim
+
+import (
+	"fmt"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/core"
+	"fsmem/internal/cpu"
+	"fsmem/internal/dram"
+	"fsmem/internal/mem"
+	"fsmem/internal/prefetch"
+	"fsmem/internal/sched"
+	"fsmem/internal/stats"
+	"fsmem/internal/trace"
+	"fsmem/internal/workload"
+)
+
+// SchedulerKind selects the memory scheduling policy under test.
+type SchedulerKind int
+
+const (
+	// Baseline is the optimized non-secure FR-FCFS scheduler.
+	Baseline SchedulerKind = iota
+	// TPBank is temporal partitioning with bank partitioning.
+	TPBank
+	// TPNone is temporal partitioning with no spatial partitioning.
+	TPNone
+	// FSRankPart .. FSNoPartTriple are the Fixed Service design points.
+	FSRankPart
+	FSBankPart
+	FSReorderedBank
+	FSNoPart
+	FSNoPartTriple
+)
+
+// String names the scheduler with the paper's abbreviations.
+func (k SchedulerKind) String() string {
+	switch k {
+	case Baseline:
+		return "Baseline"
+	case TPBank:
+		return "TP_BP"
+	case TPNone:
+		return "TP_NP"
+	case FSRankPart:
+		return "FS_RP"
+	case FSBankPart:
+		return "FS_BP"
+	case FSReorderedBank:
+		return "FS_Reordered_BP"
+	case FSNoPart:
+		return "FS_NP"
+	case FSNoPartTriple:
+		return "FS_NP_Optimized"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(k))
+	}
+}
+
+// IsFS reports whether the kind is a Fixed Service variant.
+func (k SchedulerKind) IsFS() bool { return k >= FSRankPart }
+
+// FSVariant maps the kind to its core.Variant; only valid when IsFS.
+func (k SchedulerKind) FSVariant() core.Variant {
+	return core.Variant(k - FSRankPart)
+}
+
+// Partition returns the spatial partitioning the policy assumes for page
+// coloring.
+func (k SchedulerKind) Partition() addr.PartitionKind {
+	switch k {
+	case TPBank, FSBankPart, FSReorderedBank:
+		return addr.PartitionBank
+	case FSRankPart:
+		return addr.PartitionRank
+	default:
+		return addr.PartitionNone
+	}
+}
+
+// AllSecure lists the five secure design points of Figure 3/6.
+func AllSecure() []SchedulerKind {
+	return []SchedulerKind{FSRankPart, FSReorderedBank, TPBank, FSNoPartTriple, TPNone}
+}
+
+// Config describes one simulation.
+type Config struct {
+	DRAM      dram.Params
+	Mix       workload.Mix
+	Scheduler SchedulerKind
+
+	// TPTurnLength sets the TP turn in bus cycles (0 = the mode's minimum,
+	// the best configuration per Figure 5).
+	TPTurnLength int64
+
+	// Prefetch enables the sandbox prefetcher (Figure 7).
+	Prefetch bool
+
+	// Energy enables the FS energy optimizations (Figure 9).
+	Energy core.EnergyOpts
+
+	// RefreshEnabled turns on refresh management (supported by the baseline
+	// and by FS with rank partitioning, which folds deterministic refresh
+	// windows into the slot grid; see DESIGN.md).
+	RefreshEnabled bool
+
+	// SLAWeights assigns each domain a number of FS issue slots per
+	// interval (§5.1); nil means equal service.
+	SLAWeights []int
+
+	// FSSlotSpacing overrides the solver's slot spacing l (0 = solve).
+	// Used by the ablation studies to quantify the cost of pessimistic
+	// spacings.
+	FSSlotSpacing int
+
+	Seed uint64
+
+	// StreamFactory, when non-nil, overrides the synthetic workload
+	// generator for each domain — e.g. to drive the system from a recorded
+	// trace or a cache-filtered pre-LLC stream. The mix still provides the
+	// domain count and labels.
+	StreamFactory func(domain int, space addr.Space, seed uint64) trace.Stream
+
+	// TargetReads stops the run once this many demand reads completed
+	// (the paper uses 1M; tests and benches scale down).
+	TargetReads int64
+	// MaxBusCycles is a safety stop.
+	MaxBusCycles int64
+}
+
+// DefaultConfig returns an 8-core Table 1 configuration for the given mix
+// and scheduler.
+func DefaultConfig(mix workload.Mix, k SchedulerKind) Config {
+	return Config{
+		DRAM:         dram.DDR3_1600(),
+		Mix:          mix,
+		Scheduler:    k,
+		Seed:         42,
+		TargetReads:  20000,
+		MaxBusCycles: 40_000_000,
+	}
+}
+
+// Result bundles the run statistics with FS engine counters (nil for
+// non-FS policies).
+type Result struct {
+	Run stats.Run
+	FS  *core.FSStats
+}
+
+// System is one assembled simulation.
+type System struct {
+	cfg   Config
+	ctl   *mem.Controller
+	cores []*cpu.Core
+	fs    *core.FS
+}
+
+// New builds the system. It validates the configuration, derives each
+// domain's partition space, and wires cores to the controller.
+func New(cfg Config) (*System, error) {
+	if err := cfg.DRAM.Validate(); err != nil {
+		return nil, err
+	}
+	domains := len(cfg.Mix.Profiles)
+	if domains == 0 {
+		return nil, fmt.Errorf("sim: mix %q has no profiles", cfg.Mix.Name)
+	}
+	for _, p := range cfg.Mix.Profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	var policy mem.Scheduler
+	var fs *core.FS
+	mcfg := mem.DefaultConfig(domains)
+	switch cfg.Scheduler {
+	case Baseline:
+		b := sched.NewBaseline(cfg.DRAM, mcfg)
+		b.RefreshEnabled = cfg.RefreshEnabled
+		policy = b
+	case TPBank, TPNone:
+		mode := sched.TPBankPartitioned
+		if cfg.Scheduler == TPNone {
+			mode = sched.TPNoPartitioning
+		}
+		turn := cfg.TPTurnLength
+		if turn == 0 {
+			turn = mode.MinTurnLength(cfg.DRAM)
+		}
+		tp, err := sched.NewTP(cfg.DRAM, mode, domains, turn)
+		if err != nil {
+			return nil, err
+		}
+		policy = tp
+	default:
+		var err error
+		fs, err = core.NewFS(cfg.DRAM, core.Config{
+			Variant:        cfg.Scheduler.FSVariant(),
+			Domains:        domains,
+			Seed:           cfg.Seed,
+			Energy:         cfg.Energy,
+			Weights:        cfg.SLAWeights,
+			RefreshEnabled: cfg.RefreshEnabled,
+			L:              cfg.FSSlotSpacing,
+		})
+		if err != nil {
+			return nil, err
+		}
+		policy = fs
+	}
+
+	ctl := mem.NewController(cfg.DRAM, mcfg, policy)
+	if cfg.Prefetch {
+		ctl.EnablePrefetch(func(int) *prefetch.Sandbox { return prefetch.New(cfg.DRAM) })
+	}
+
+	s := &System{cfg: cfg, ctl: ctl, fs: fs}
+	rng := trace.NewRNG(cfg.Seed)
+	for d := 0; d < domains; d++ {
+		space, err := addr.SpaceFor(cfg.Scheduler.Partition(), d, domains, cfg.DRAM)
+		if err != nil {
+			return nil, err
+		}
+		var stream trace.Stream
+		seed := rng.Uint64()
+		if cfg.StreamFactory != nil {
+			stream = cfg.StreamFactory(d, space, seed)
+		} else {
+			stream = workload.NewGenerator(cfg.Mix.Profiles[d], space, cfg.DRAM, seed)
+		}
+		s.cores = append(s.cores, cpu.NewCore(d, stream, ctl, &ctl.Dom[d]))
+	}
+	return s, nil
+}
+
+// Controller exposes the memory controller (for examples and tests).
+func (s *System) Controller() *mem.Controller { return s.ctl }
+
+// Reconfigure performs the §5.1 SLA change: it drains the memory
+// controller "similar to a CPU pipeline drain on a context-switch" (cores
+// are stalled, queued transactions finish under the old schedule), then
+// swaps in a fresh Fixed Service engine with the new slot weights. Only
+// FS policies can be reconfigured, and the spatial partitioning (page
+// coloring) is unchanged.
+func (s *System) Reconfigure(weights []int) error {
+	if s.fs == nil {
+		return fmt.Errorf("sim: only Fixed Service schedulers support SLA reconfiguration")
+	}
+	// Drain in two phases: first let queued demand transactions finish
+	// under the old schedule (cores stalled), then quiesce slot planning so
+	// the pipeline itself empties.
+	deadline := s.ctl.Cycle + 4_000_000
+	for s.ctl.PendingReads() > 0 || s.ctl.PendingWrites() > 0 {
+		s.ctl.Tick()
+		if s.ctl.Cycle > deadline {
+			return fmt.Errorf("sim: drain phase 1 did not complete by cycle %d", deadline)
+		}
+	}
+	s.fs.BeginDrain()
+	for !(s.ctl.Drained() && s.fs.Idle()) {
+		s.ctl.Tick()
+		if s.ctl.Cycle > deadline {
+			return fmt.Errorf("sim: drain phase 2 did not complete by cycle %d", deadline)
+		}
+	}
+	fs, err := core.NewFS(s.cfg.DRAM, core.Config{
+		Variant:        s.cfg.Scheduler.FSVariant(),
+		Domains:        len(s.cfg.Mix.Profiles),
+		Seed:           s.cfg.Seed + 1,
+		Energy:         s.cfg.Energy,
+		Weights:        weights,
+		RefreshEnabled: s.cfg.RefreshEnabled,
+		StartCycle:     s.ctl.Cycle + 1,
+	})
+	if err != nil {
+		return err
+	}
+	s.fs = fs
+	s.ctl.SetScheduler(fs)
+	s.cfg.SLAWeights = weights
+	return nil
+}
+
+// Step advances the system by one DRAM bus cycle.
+func (s *System) Step() {
+	s.ctl.Tick()
+	for cc := 0; cc < s.cfg.DRAM.CPUCyclesPerBusCycle; cc++ {
+		for _, c := range s.cores {
+			c.Cycle()
+		}
+	}
+}
+
+// Run executes until TargetReads demand reads completed (or the safety
+// stop) and returns the collected statistics.
+func (s *System) Run() Result {
+	max := s.cfg.MaxBusCycles
+	if max == 0 {
+		max = 40_000_000
+	}
+	for s.ctl.Cycle < max {
+		s.Step()
+		if s.cfg.TargetReads > 0 && s.totalReads() >= s.cfg.TargetReads {
+			break
+		}
+	}
+	run := stats.Run{
+		Scheduler: s.ctl.Scheduler().Name(),
+		Workload:  s.cfg.Mix.Name,
+		BusCycles: s.ctl.Cycle,
+		Domains:   append([]stats.Domain(nil), s.ctl.Dom...),
+		Channel:   s.ctl.Chan.Counters,
+		Latency:   s.ctl.LatHist,
+	}
+	var fsStats *core.FSStats
+	if s.fs != nil {
+		st := s.fs.Stats
+		fsStats = &st
+	}
+	return Result{Run: run, FS: fsStats}
+}
+
+func (s *System) totalReads() int64 {
+	var n int64
+	for d := range s.ctl.Dom {
+		n += s.ctl.Dom[d].Reads
+	}
+	return n
+}
+
+// Simulate is the one-call convenience: build and run.
+func Simulate(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}

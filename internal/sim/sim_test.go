@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"fsmem/internal/stats"
+	"fsmem/internal/workload"
+)
+
+func smallConfig(t *testing.T, name string, k SchedulerKind) Config {
+	t.Helper()
+	mix, err := workload.Rate(name, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(mix, k)
+	cfg.TargetReads = 4000
+	return cfg
+}
+
+func runOrFatal(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBaselineRunsAndRetires(t *testing.T) {
+	res := runOrFatal(t, smallConfig(t, "mcf", Baseline))
+	run := res.Run
+	if run.TotalReads() < 4000 {
+		t.Fatalf("completed %d reads, want >= 4000", run.TotalReads())
+	}
+	if run.TotalInstructions() == 0 {
+		t.Fatal("no instructions retired")
+	}
+	for d, dom := range run.Domains {
+		if dom.IPC() <= 0 {
+			t.Errorf("domain %d IPC = %v", d, dom.IPC())
+		}
+	}
+	if run.BusUtilization() <= 0 || run.BusUtilization() > 1 {
+		t.Errorf("bus utilization %v out of range", run.BusUtilization())
+	}
+	// The open-page baseline on mcf-with-locality should see some row hits.
+	var hits int64
+	for _, d := range run.Domains {
+		hits += d.RowHits
+	}
+	if hits == 0 {
+		t.Error("baseline saw zero row hits")
+	}
+}
+
+func TestEverySchedulerCompletes(t *testing.T) {
+	for _, k := range []SchedulerKind{Baseline, TPBank, TPNone, FSRankPart, FSBankPart, FSReorderedBank, FSNoPart, FSNoPartTriple} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(t, "milc", k)
+			cfg.TargetReads = 2000
+			res := runOrFatal(t, cfg)
+			if got := res.Run.TotalReads(); got < 2000 {
+				t.Fatalf("%v: completed %d reads before the safety stop", k, got)
+			}
+		})
+	}
+}
+
+func TestSecureSchedulersOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering check needs full runs")
+	}
+	// The paper's headline ordering (Figure 3): baseline > FS_RP >
+	// FS_Reordered_BP > TP_BP and FS_NP_Optimized > TP_NP.
+	wipc := map[SchedulerKind]float64{}
+	base := runOrFatal(t, smallConfig(t, "milc", Baseline))
+	for _, k := range AllSecure() {
+		res := runOrFatal(t, smallConfig(t, "milc", k))
+		w, err := stats.WeightedIPC(res.Run, base.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wipc[k] = w
+	}
+	t.Logf("weighted IPC: %v", wipc)
+	if !(wipc[FSRankPart] > wipc[FSReorderedBank]) {
+		t.Errorf("FS_RP (%v) should beat FS_Reordered_BP (%v)", wipc[FSRankPart], wipc[FSReorderedBank])
+	}
+	if !(wipc[FSReorderedBank] > wipc[TPBank]) {
+		t.Errorf("FS_Reordered_BP (%v) should beat TP_BP (%v)", wipc[FSReorderedBank], wipc[TPBank])
+	}
+	if !(wipc[FSNoPartTriple] > wipc[TPNone]) {
+		t.Errorf("FS_NP_Optimized (%v) should beat TP_NP (%v)", wipc[FSNoPartTriple], wipc[TPNone])
+	}
+	for k, w := range wipc {
+		if w > 8.01 {
+			t.Errorf("%v: weighted IPC %v exceeds the 8-core bound", k, w)
+		}
+	}
+}
+
+func TestFSShapesDummies(t *testing.T) {
+	// xalancbmk is light; FS must fill most slots with dummies. libquantum
+	// is heavy; dummies should be rare (the paper: 87% vs 2.3%).
+	light := runOrFatal(t, smallConfig(t, "xalancbmk", FSRankPart))
+	heavy := runOrFatal(t, smallConfig(t, "libquantum", FSRankPart))
+	lf, hf := light.Run.DummyFraction(), heavy.Run.DummyFraction()
+	if lf < 0.5 {
+		t.Errorf("xalancbmk dummy fraction %v, want > 0.5", lf)
+	}
+	if hf > 0.3 {
+		t.Errorf("libquantum dummy fraction %v, want < 0.3", hf)
+	}
+	if lf <= hf {
+		t.Errorf("dummy fractions inverted: light %v <= heavy %v", lf, hf)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallConfig(t, "mcf", FSRankPart)
+	cfg.TargetReads = 1500
+	a := runOrFatal(t, cfg)
+	b := runOrFatal(t, cfg)
+	if a.Run.BusCycles != b.Run.BusCycles {
+		t.Fatalf("bus cycles differ across identical runs: %d vs %d", a.Run.BusCycles, b.Run.BusCycles)
+	}
+	for d := range a.Run.Domains {
+		if a.Run.Domains[d] != b.Run.Domains[d] {
+			t.Fatalf("domain %d stats differ across identical runs", d)
+		}
+	}
+}

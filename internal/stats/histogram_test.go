@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram metrics should be zero")
+	}
+	for _, v := range []int64{10, 20, 40, 80, 100000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Max() != 100000 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if got, want := h.Mean(), float64(10+20+40+80+100000)/5; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i) // uniform on [1,1000]
+	}
+	// The q-quantile upper bound must be >= the true quantile and within
+	// one power-of-two bucket of it.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		truth := int64(q * 1000)
+		got := h.Quantile(q)
+		if got < truth {
+			t.Errorf("Quantile(%v) = %d below true %d", q, got, truth)
+		}
+		if got > truth*2+16 {
+			t.Errorf("Quantile(%v) = %d too far above true %d", q, got, truth)
+		}
+	}
+	// Clamped arguments.
+	if h.Quantile(-1) == 0 || h.Quantile(2) < h.Quantile(0.5) {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	a.Observe(10)
+	b.Observe(1000)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2 || a.Max() != 1000 {
+		t.Errorf("merged: count=%d max=%d", a.Count(), a.Max())
+	}
+	c := NewHistogram([]int64{1, 2})
+	if err := a.Merge(c); err == nil {
+		t.Error("merging different bucketings should fail")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.String() != "(empty)" {
+		t.Errorf("empty String = %q", h.String())
+	}
+	h.Observe(100)
+	s := h.String()
+	for _, want := range []string{"n=1", "mean=100.0", "#"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestHistogramConservation: counts always sum to the number of samples and
+// the mean matches the running sum, for arbitrary inputs.
+func TestHistogramConservation(t *testing.T) {
+	check := func(vals []uint16) bool {
+		h := NewLatencyHistogram()
+		var sum int64
+		for _, v := range vals {
+			h.Observe(int64(v))
+			sum += int64(v)
+		}
+		if h.Count() != int64(len(vals)) {
+			return false
+		}
+		if len(vals) > 0 && h.Mean() != float64(sum)/float64(len(vals)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package stats collects per-domain and per-channel statistics: retired
+// instructions, cycles, memory traffic, latencies, and the derived metrics
+// (IPC, weighted IPC, bandwidth utilization) that the paper's figures report.
+package stats
+
+import (
+	"fmt"
+
+	"fsmem/internal/dram"
+)
+
+// Domain accumulates one security domain's activity.
+type Domain struct {
+	Instructions int64 // retired instructions
+	CPUCycles    int64 // CPU cycles elapsed while the domain ran
+
+	Reads, Writes    int64 // demand transactions serviced by the channel
+	Dummies          int64 // dummy operations injected on the domain's behalf
+	Prefetches       int64 // prefetch operations injected into dummy slots
+	UsefulPrefetches int64 // prefetches later hit by a demand access
+	RowHits          int64 // demand accesses that hit an open row (baseline)
+	RowHitBoosts     int64 // FS energy-opt-2 row-buffer boosts
+
+	ReadLatencySum   int64 // bus cycles, arrival at MC -> data delivered
+	ReadLatencyCount int64
+	QueueDelaySum    int64 // bus cycles, arrival -> first command issued
+}
+
+// IPC returns retired instructions per CPU cycle.
+func (d Domain) IPC() float64 {
+	if d.CPUCycles == 0 {
+		return 0
+	}
+	return float64(d.Instructions) / float64(d.CPUCycles)
+}
+
+// AvgReadLatency returns the mean read latency in bus cycles.
+func (d Domain) AvgReadLatency() float64 {
+	if d.ReadLatencyCount == 0 {
+		return 0
+	}
+	return float64(d.ReadLatencySum) / float64(d.ReadLatencyCount)
+}
+
+// DummyFraction returns the fraction of all injected memory operations that
+// were dummies.
+func (d Domain) DummyFraction() float64 {
+	total := d.Reads + d.Writes + d.Dummies + d.Prefetches
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Dummies) / float64(total)
+}
+
+// Run is the complete result of one simulation.
+type Run struct {
+	Scheduler string
+	Workload  string
+	BusCycles int64 // DRAM bus cycles simulated
+	Domains   []Domain
+	Channel   dram.Counters
+	// Latency holds per-domain demand-read latency histograms (may be nil
+	// for hand-built Runs).
+	Latency []*Histogram
+}
+
+// TotalReads sums demand reads across domains.
+func (r Run) TotalReads() int64 {
+	var n int64
+	for _, d := range r.Domains {
+		n += d.Reads
+	}
+	return n
+}
+
+// TotalInstructions sums retired instructions across domains.
+func (r Run) TotalInstructions() int64 {
+	var n int64
+	for _, d := range r.Domains {
+		n += d.Instructions
+	}
+	return n
+}
+
+// BusUtilization returns the fraction of bus cycles the data bus was busy.
+func (r Run) BusUtilization() float64 {
+	if r.BusCycles == 0 {
+		return 0
+	}
+	return float64(r.Channel.DataBusBusy) / float64(r.BusCycles)
+}
+
+// AvgReadLatency returns the mean demand-read latency across domains.
+func (r Run) AvgReadLatency() float64 {
+	var sum, n int64
+	for _, d := range r.Domains {
+		sum += d.ReadLatencySum
+		n += d.ReadLatencyCount
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// DummyFraction returns the dummy fraction across all domains.
+func (r Run) DummyFraction() float64 {
+	var dummies, total int64
+	for _, d := range r.Domains {
+		dummies += d.Dummies
+		total += d.Reads + d.Writes + d.Dummies + d.Prefetches
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dummies) / float64(total)
+}
+
+// WeightedIPC returns the sum of per-domain IPCs normalized against the
+// same domain's IPC in the baseline run, the paper's throughput metric
+// ("sum of weighted IPCs"; equals the domain count when run == baseline).
+func WeightedIPC(run, baseline Run) (float64, error) {
+	if len(run.Domains) != len(baseline.Domains) {
+		return 0, fmt.Errorf("stats: domain count mismatch %d vs %d", len(run.Domains), len(baseline.Domains))
+	}
+	var sum float64
+	for i := range run.Domains {
+		b := baseline.Domains[i].IPC()
+		if b == 0 {
+			return 0, fmt.Errorf("stats: baseline IPC for domain %d is zero", i)
+		}
+		sum += run.Domains[i].IPC() / b
+	}
+	return sum, nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

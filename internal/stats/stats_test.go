@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"fsmem/internal/dram"
+)
+
+func TestDomainDerivedMetrics(t *testing.T) {
+	d := Domain{
+		Instructions:     1000,
+		CPUCycles:        500,
+		Reads:            60,
+		Writes:           20,
+		Dummies:          20,
+		ReadLatencySum:   600,
+		ReadLatencyCount: 60,
+	}
+	if got := d.IPC(); got != 2.0 {
+		t.Errorf("IPC = %v, want 2", got)
+	}
+	if got := d.AvgReadLatency(); got != 10.0 {
+		t.Errorf("AvgReadLatency = %v, want 10", got)
+	}
+	if got := d.DummyFraction(); got != 0.2 {
+		t.Errorf("DummyFraction = %v, want 0.2", got)
+	}
+	var zero Domain
+	if zero.IPC() != 0 || zero.AvgReadLatency() != 0 || zero.DummyFraction() != 0 {
+		t.Error("zero-value domain should yield zero metrics")
+	}
+}
+
+func sampleRun() Run {
+	return Run{
+		Scheduler: "x",
+		BusCycles: 1000,
+		Domains: []Domain{
+			{Instructions: 800, CPUCycles: 4000, Reads: 50, ReadLatencySum: 500, ReadLatencyCount: 50},
+			{Instructions: 400, CPUCycles: 4000, Reads: 30, Writes: 10, Dummies: 10, ReadLatencySum: 600, ReadLatencyCount: 30},
+		},
+		Channel: dram.Counters{DataBusBusy: 320},
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	r := sampleRun()
+	if r.TotalReads() != 80 {
+		t.Errorf("TotalReads = %d", r.TotalReads())
+	}
+	if r.TotalInstructions() != 1200 {
+		t.Errorf("TotalInstructions = %d", r.TotalInstructions())
+	}
+	if got := r.BusUtilization(); got != 0.32 {
+		t.Errorf("BusUtilization = %v", got)
+	}
+	if got := r.AvgReadLatency(); math.Abs(got-1100.0/80) > 1e-12 {
+		t.Errorf("AvgReadLatency = %v", got)
+	}
+	if got := r.DummyFraction(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("DummyFraction = %v", got)
+	}
+}
+
+func TestWeightedIPC(t *testing.T) {
+	base := sampleRun()
+	run := sampleRun()
+	// Same run: every domain normalizes to 1.
+	w, err := WeightedIPC(run, base)
+	if err != nil || math.Abs(w-2.0) > 1e-12 {
+		t.Fatalf("WeightedIPC(same) = %v, %v; want 2", w, err)
+	}
+	// Halve one domain's IPC.
+	run.Domains[0].Instructions = 400
+	w, err = WeightedIPC(run, base)
+	if err != nil || math.Abs(w-1.5) > 1e-12 {
+		t.Fatalf("WeightedIPC = %v, %v; want 1.5", w, err)
+	}
+	// Mismatched domain counts error.
+	short := Run{Domains: base.Domains[:1]}
+	if _, err := WeightedIPC(short, base); err == nil {
+		t.Error("mismatched domains should error")
+	}
+	// Zero baseline IPC errors.
+	zero := sampleRun()
+	zero.Domains[0].Instructions = 0
+	if _, err := WeightedIPC(run, zero); err == nil {
+		t.Error("zero baseline IPC should error")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"fsmem/internal/dram"
+)
+
+// Trace files hold post-LLC reference streams in a USIMM-like text format,
+// one record per line:
+//
+//	<gap> R|W <rank> <bank> <row> <col>
+//
+// where gap is the number of non-memory instructions preceding the
+// reference. Lines starting with '#' are comments.
+
+// WriteTrace serializes refs to w.
+func WriteTrace(w io.Writer, refs []Ref) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# fsmem trace v1: gap R|W rank bank row col"); err != nil {
+		return err
+	}
+	for _, r := range refs {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %d %d %d %d\n",
+			r.Gap, op, r.Addr.Rank, r.Addr.Bank, r.Addr.Row, r.Addr.Col); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace file.
+func ReadTrace(r io.Reader) ([]Ref, error) {
+	var refs []Ref
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var gap, rank, bank, row, col int
+		var op string
+		if _, err := fmt.Sscanf(line, "%d %s %d %d %d %d", &gap, &op, &rank, &bank, &row, &col); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		if op != "R" && op != "W" {
+			return nil, fmt.Errorf("trace: line %d: op %q is not R or W", lineNo, op)
+		}
+		if gap < 0 || rank < 0 || bank < 0 || row < 0 || col < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative field", lineNo)
+		}
+		refs = append(refs, Ref{
+			Gap:   gap,
+			Write: op == "W",
+			Addr:  dram.Address{Rank: rank, Bank: bank, Row: row, Col: col},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("trace: no records")
+	}
+	return refs, nil
+}
+
+// Capture records n references from a stream (e.g. to snapshot a synthetic
+// workload into a replayable trace file).
+func Capture(s Stream, n int) []Ref {
+	out := make([]Ref, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Next())
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fsmem/internal/dram"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	refs := []Ref{
+		{Gap: 3, Write: false, Addr: dram.Address{Rank: 1, Bank: 2, Row: 100, Col: 7}},
+		{Gap: 0, Write: true, Addr: dram.Address{Rank: 7, Bank: 0, Row: 65535, Col: 127}},
+		{Gap: 1 << 20, Write: false, Addr: dram.Address{}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("round trip: %d records, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestReadTraceSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n 5 R 0 1 2 3 \n# tail\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Gap != 5 || got[0].Addr.Col != 3 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	for _, in := range []string{
+		"",               // empty
+		"x R 0 0 0 0\n",  // bad gap
+		"1 Q 0 0 0 0\n",  // bad op
+		"1 R 0 0 0\n",    // short line
+		"-1 R 0 0 0 0\n", // negative gap
+		"1 W 0 -2 0 0\n", // negative bank
+	} {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestCapture(t *testing.T) {
+	s := &SliceStream{Refs: []Ref{{Gap: 1}, {Gap: 2}}}
+	got := Capture(s, 5)
+	if len(got) != 5 || got[0].Gap != 1 || got[4].Gap != 1 {
+		t.Fatalf("Capture = %+v", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Package trace provides the deterministic random-number generator and the
+// memory-reference stream abstraction that workload generators implement.
+// Every source of randomness in the simulator flows from a seeded RNG so
+// that experiments are reproducible byte-for-byte.
+package trace
+
+// RNG is a splitmix64 pseudo-random generator: tiny state, excellent
+// statistical quality for simulation purposes, and fully deterministic.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (the number of failures before a success with p = 1/(mean+1)).
+// A mean <= 0 always returns 0.
+func (r *RNG) Geometric(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1.0 / (mean + 1.0)
+	// Inverse-transform sampling on the geometric CDF.
+	u := r.Float64()
+	// Avoid log(0).
+	if u >= 1.0 {
+		u = 0.9999999999999999
+	}
+	n := 0
+	q := 1.0 - p
+	acc := p
+	cdf := acc
+	for cdf < u && n < 1<<20 {
+		acc *= q
+		cdf += acc
+		n++
+	}
+	return n
+}
+
+// Split derives an independent generator from this one, for giving each
+// domain or component its own stream without correlation.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa5a5a5a55a5a5a5a)
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fsmem/internal/addr"
+	"fsmem/internal/dram"
+	"fsmem/internal/trace"
+)
+
+// Generator turns a Profile into an unbounded post-LLC reference stream
+// confined to a domain's partition space. It implements trace.Stream.
+type Generator struct {
+	Profile Profile
+
+	rng     *trace.RNG
+	geom    dram.Params
+	space   addr.Space
+	slots   []streamSlot
+	meanGap float64
+	rows    int // usable rows per bank
+}
+
+// streamSlot is one independent access stream (one "walker"): tiled and
+// streaming codes keep several banks in flight, pointer chasers few.
+type streamSlot struct {
+	rank, bank, row, col int
+}
+
+const burstGapMax = 8 // instructions inside an MLP cluster
+
+// NewGenerator builds a deterministic stream for the profile within the
+// given partition space.
+func NewGenerator(p Profile, space addr.Space, geom dram.Params, seed uint64) *Generator {
+	g := &Generator{
+		Profile: p,
+		rng:     trace.NewRNG(seed),
+		geom:    geom,
+		space:   space,
+	}
+	g.rows = p.FootprintRows
+	if g.rows > geom.RowsPerBank {
+		g.rows = geom.RowsPerBank
+	}
+	// Mean instruction gap so that the overall rate matches MPKI:
+	// mean = burstiness*burstMean + (1-burstiness)*slackMean.
+	target := 1000.0 / p.MPKI()
+	burstMean := float64(burstGapMax) / 2
+	slack := (target - p.Burstiness*burstMean) / (1 - p.Burstiness + 1e-12)
+	if slack < 0 {
+		slack = 0
+	}
+	g.meanGap = slack
+
+	g.slots = make([]streamSlot, p.BankSpread)
+	for i := range g.slots {
+		g.slots[i] = streamSlot{
+			rank: g.space.Ranks[(i*7+g.rng.Intn(len(space.Ranks)))%len(space.Ranks)],
+			bank: g.space.Banks[(i*3+g.rng.Intn(len(space.Banks)))%len(space.Banks)],
+			row:  g.rng.Intn(g.rows),
+			col:  g.rng.Intn(geom.ColsPerRow),
+		}
+	}
+	return g
+}
+
+// Next produces the next memory reference.
+func (g *Generator) Next() trace.Ref {
+	p := g.Profile
+	var gap int
+	if g.rng.Bool(p.Burstiness) {
+		gap = g.rng.Intn(burstGapMax)
+	} else {
+		gap = g.rng.Geometric(g.meanGap)
+	}
+
+	s := &g.slots[g.rng.Intn(len(g.slots))]
+	if g.rng.Bool(p.RowLocality) {
+		s.col++
+		if s.col >= g.geom.ColsPerRow {
+			s.col = 0
+			s.row = g.rng.Intn(g.rows)
+		}
+	} else {
+		s.row = g.rng.Intn(g.rows)
+		s.col = g.rng.Intn(g.geom.ColsPerRow)
+		// Occasionally migrate the stream to another (rank, bank) in the
+		// partition to spread bank-level pressure.
+		if g.rng.Bool(0.3) {
+			s.rank = g.space.Ranks[g.rng.Intn(len(g.space.Ranks))]
+			s.bank = g.space.Banks[g.rng.Intn(len(g.space.Banks))]
+		}
+	}
+
+	return trace.Ref{
+		Gap:   gap,
+		Write: g.rng.Bool(p.WriteFraction()),
+		Addr: dram.Address{
+			Rank: s.rank,
+			Bank: s.bank,
+			Row:  s.row,
+			Col:  s.col,
+		},
+	}
+}

@@ -1,0 +1,202 @@
+// Package workload defines the synthetic SPEC CPU2006 / NAS workload models
+// the evaluation runs, and the generator that turns a profile into a
+// post-LLC memory-reference stream.
+//
+// The paper runs SPEC binaries under Simics; the figures depend only on
+// each workload's memory-stream statistics. Profiles therefore capture, per
+// benchmark: memory intensity (read/write misses per kilo-instruction),
+// row-buffer locality, bank-level spread, burstiness (memory-level
+// parallelism), and footprint. Values are calibrated to published SPEC2006
+// memory characterizations; see DESIGN.md for the substitution rationale.
+package workload
+
+import "fmt"
+
+// Profile is the statistical model of one benchmark's post-LLC memory
+// behavior.
+type Profile struct {
+	Name string
+
+	ReadMPKI  float64 // demand read misses per 1000 instructions
+	WriteMPKI float64 // dirty write-backs per 1000 instructions
+
+	// RowLocality is the probability that a stream's next access falls in
+	// its current DRAM row (the open-page hit opportunity a baseline
+	// scheduler exploits and FS deliberately forgoes).
+	RowLocality float64
+
+	// BankSpread is the number of independent access streams (≈ concurrent
+	// banks touched); pointer-chasing codes have low spread, tiled/streaming
+	// codes have high spread.
+	BankSpread int
+
+	// Burstiness is the probability that a miss is followed almost
+	// immediately by another miss (memory-level parallelism clusters).
+	Burstiness float64
+
+	// FootprintRows bounds the number of distinct rows per bank the
+	// workload touches.
+	FootprintRows int
+}
+
+// MPKI returns total misses per kilo-instruction.
+func (p Profile) MPKI() float64 { return p.ReadMPKI + p.WriteMPKI }
+
+// WriteFraction returns the fraction of memory traffic that is writes.
+func (p Profile) WriteFraction() float64 {
+	t := p.MPKI()
+	if t == 0 {
+		return 0
+	}
+	return p.WriteMPKI / t
+}
+
+// Validate reports whether the profile is self-consistent.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile has no name")
+	case p.ReadMPKI < 0 || p.WriteMPKI < 0:
+		return fmt.Errorf("workload %s: negative MPKI", p.Name)
+	case p.RowLocality < 0 || p.RowLocality > 1:
+		return fmt.Errorf("workload %s: RowLocality %v outside [0,1]", p.Name, p.RowLocality)
+	case p.Burstiness < 0 || p.Burstiness > 1:
+		return fmt.Errorf("workload %s: Burstiness %v outside [0,1]", p.Name, p.Burstiness)
+	case p.BankSpread < 1:
+		return fmt.Errorf("workload %s: BankSpread must be >= 1", p.Name)
+	case p.FootprintRows < 1:
+		return fmt.Errorf("workload %s: FootprintRows must be >= 1", p.Name)
+	}
+	return nil
+}
+
+// The benchmark profiles used throughout the evaluation. Intensities and
+// localities follow the well-known SPEC2006 memory characterization
+// ordering: libquantum/mcf/milc/lbm are memory bound, xalancbmk/astar are
+// comparatively light; libquantum and lbm stream with high row locality,
+// mcf pointer-chases with poor locality.
+var profiles = []Profile{
+	{Name: "mcf", ReadMPKI: 32, WriteMPKI: 9, RowLocality: 0.18, BankSpread: 6, Burstiness: 0.55, FootprintRows: 4096},
+	{Name: "libquantum", ReadMPKI: 26, WriteMPKI: 8, RowLocality: 0.93, BankSpread: 2, Burstiness: 0.70, FootprintRows: 2048},
+	{Name: "milc", ReadMPKI: 18, WriteMPKI: 8, RowLocality: 0.50, BankSpread: 4, Burstiness: 0.45, FootprintRows: 2048},
+	{Name: "lbm", ReadMPKI: 20, WriteMPKI: 12, RowLocality: 0.85, BankSpread: 4, Burstiness: 0.60, FootprintRows: 2048},
+	{Name: "GemsFDTD", ReadMPKI: 15, WriteMPKI: 6, RowLocality: 0.60, BankSpread: 4, Burstiness: 0.40, FootprintRows: 2048},
+	{Name: "astar", ReadMPKI: 4, WriteMPKI: 1.2, RowLocality: 0.30, BankSpread: 3, Burstiness: 0.25, FootprintRows: 1024},
+	{Name: "zeusmp", ReadMPKI: 6, WriteMPKI: 2.5, RowLocality: 0.55, BankSpread: 4, Burstiness: 0.35, FootprintRows: 1024},
+	{Name: "xalancbmk", ReadMPKI: 0.3, WriteMPKI: 0.1, RowLocality: 0.45, BankSpread: 3, Burstiness: 0.20, FootprintRows: 512},
+	{Name: "omnetpp", ReadMPKI: 9, WriteMPKI: 3, RowLocality: 0.30, BankSpread: 4, Burstiness: 0.35, FootprintRows: 1024},
+	{Name: "soplex", ReadMPKI: 16, WriteMPKI: 6, RowLocality: 0.50, BankSpread: 4, Burstiness: 0.45, FootprintRows: 2048},
+	{Name: "CG", ReadMPKI: 14, WriteMPKI: 4, RowLocality: 0.35, BankSpread: 5, Burstiness: 0.50, FootprintRows: 2048},
+	{Name: "SP", ReadMPKI: 11, WriteMPKI: 5, RowLocality: 0.70, BankSpread: 4, Burstiness: 0.45, FootprintRows: 2048},
+
+	// Additional SPEC CPU2006 profiles beyond the paper's evaluation list,
+	// for broader studies (not part of EvaluationSuite).
+	{Name: "bwaves", ReadMPKI: 18, WriteMPKI: 5, RowLocality: 0.80, BankSpread: 4, Burstiness: 0.55, FootprintRows: 4096},
+	{Name: "leslie3d", ReadMPKI: 13, WriteMPKI: 6, RowLocality: 0.70, BankSpread: 4, Burstiness: 0.45, FootprintRows: 2048},
+	{Name: "cactusADM", ReadMPKI: 7, WriteMPKI: 3, RowLocality: 0.55, BankSpread: 4, Burstiness: 0.35, FootprintRows: 2048},
+	{Name: "sphinx3", ReadMPKI: 10, WriteMPKI: 1.5, RowLocality: 0.60, BankSpread: 3, Burstiness: 0.40, FootprintRows: 1024},
+	{Name: "wrf", ReadMPKI: 6, WriteMPKI: 2.5, RowLocality: 0.65, BankSpread: 4, Burstiness: 0.35, FootprintRows: 1024},
+	{Name: "bzip2", ReadMPKI: 3, WriteMPKI: 1.5, RowLocality: 0.40, BankSpread: 3, Burstiness: 0.30, FootprintRows: 512},
+	{Name: "gcc", ReadMPKI: 2, WriteMPKI: 0.8, RowLocality: 0.35, BankSpread: 3, Burstiness: 0.25, FootprintRows: 512},
+	{Name: "hmmer", ReadMPKI: 1, WriteMPKI: 0.3, RowLocality: 0.55, BankSpread: 2, Burstiness: 0.20, FootprintRows: 256},
+	{Name: "sjeng", ReadMPKI: 0.8, WriteMPKI: 0.3, RowLocality: 0.25, BankSpread: 2, Burstiness: 0.20, FootprintRows: 512},
+	{Name: "gobmk", ReadMPKI: 0.8, WriteMPKI: 0.35, RowLocality: 0.30, BankSpread: 2, Burstiness: 0.20, FootprintRows: 512},
+	{Name: "h264ref", ReadMPKI: 1.2, WriteMPKI: 0.4, RowLocality: 0.55, BankSpread: 3, Burstiness: 0.30, FootprintRows: 512},
+	{Name: "perlbench", ReadMPKI: 1, WriteMPKI: 0.5, RowLocality: 0.40, BankSpread: 3, Burstiness: 0.25, FootprintRows: 512},
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// All returns every defined profile.
+func All() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Mix is a named multiprogrammed workload: one profile per core.
+type Mix struct {
+	Name     string
+	Profiles []Profile
+}
+
+// Rate builds the paper's rate-mode workload: n copies of one benchmark.
+func Rate(name string, n int) (Mix, error) {
+	p, err := ByName(name)
+	if err != nil {
+		return Mix{}, err
+	}
+	m := Mix{Name: name, Profiles: make([]Profile, n)}
+	for i := range m.Profiles {
+		m.Profiles[i] = p
+	}
+	return m, nil
+}
+
+func mustByName(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mix1 is the paper's mix1: two copies each of xalancbmk, soplex, mcf,
+// omnetpp.
+func Mix1() Mix {
+	var ps []Profile
+	for _, n := range []string{"xalancbmk", "soplex", "mcf", "omnetpp"} {
+		p := mustByName(n)
+		ps = append(ps, p, p)
+	}
+	return Mix{Name: "mix1", Profiles: ps}
+}
+
+// Mix2 is the paper's mix2: two copies each of milc, lbm, xalancbmk, zeusmp.
+func Mix2() Mix {
+	var ps []Profile
+	for _, n := range []string{"milc", "lbm", "xalancbmk", "zeusmp"} {
+		p := mustByName(n)
+		ps = append(ps, p, p)
+	}
+	return Mix{Name: "mix2", Profiles: ps}
+}
+
+// EvaluationSuite returns the paper's Figure 5-9 workload list for a given
+// core count: mix1, mix2, CG, SP, and the rate-mode SPEC benchmarks.
+func EvaluationSuite(cores int) []Mix {
+	suite := []Mix{}
+	if cores == 8 {
+		suite = append(suite, Mix1(), Mix2())
+	}
+	for _, n := range []string{"CG", "SP", "astar", "lbm", "libquantum", "mcf", "milc", "zeusmp", "GemsFDTD", "xalancbmk"} {
+		m, err := Rate(n, cores)
+		if err != nil {
+			panic(err)
+		}
+		suite = append(suite, m)
+	}
+	return suite
+}
+
+// Synthetic builds an artificial profile, used by the leakage experiments:
+// intensity in misses per kilo-instruction with streaming behavior.
+func Synthetic(name string, mpki float64) Profile {
+	return Profile{
+		Name:          name,
+		ReadMPKI:      mpki * 0.7,
+		WriteMPKI:     mpki * 0.3,
+		RowLocality:   0.5,
+		BankSpread:    4,
+		Burstiness:    0.5,
+		FootprintRows: 1024,
+	}
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/dram"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	if len(All()) < 10 {
+		t.Fatalf("only %d profiles defined", len(All()))
+	}
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x", ReadMPKI: -1, BankSpread: 1, FootprintRows: 1},
+		{Name: "x", RowLocality: 1.5, BankSpread: 1, FootprintRows: 1},
+		{Name: "x", Burstiness: -0.1, BankSpread: 1, FootprintRows: 1},
+		{Name: "x", BankSpread: 0, FootprintRows: 1},
+		{Name: "x", BankSpread: 1, FootprintRows: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d validated", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestRateAndMixes(t *testing.T) {
+	m, err := Rate("milc", 8)
+	if err != nil || len(m.Profiles) != 8 {
+		t.Fatalf("Rate: %v, %v", m, err)
+	}
+	for _, p := range m.Profiles {
+		if p.Name != "milc" {
+			t.Fatal("rate mode must replicate the same profile")
+		}
+	}
+	if _, err := Rate("nope", 8); err == nil {
+		t.Fatal("Rate with unknown benchmark should error")
+	}
+	for _, mix := range []Mix{Mix1(), Mix2()} {
+		if len(mix.Profiles) != 8 {
+			t.Errorf("%s has %d profiles, want 8", mix.Name, len(mix.Profiles))
+		}
+	}
+	if len(EvaluationSuite(8)) < 10 {
+		t.Error("8-core suite too small")
+	}
+	if len(EvaluationSuite(4)) >= len(EvaluationSuite(8)) {
+		t.Error("4-core suite should omit the 8-thread mixes")
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	p := Profile{Name: "x", ReadMPKI: 6, WriteMPKI: 2, BankSpread: 1, FootprintRows: 1}
+	if got := p.WriteFraction(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("WriteFraction = %v, want 0.25", got)
+	}
+	if (Profile{}).WriteFraction() != 0 {
+		t.Error("zero-MPKI write fraction should be 0")
+	}
+}
+
+func genFor(t *testing.T, name string, seed uint64) *Generator {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := dram.DDR3_1600()
+	space, err := addr.SpaceFor(addr.PartitionRank, 0, 8, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGenerator(p, space, geom, seed)
+}
+
+func TestGeneratorStaysInPartition(t *testing.T) {
+	g := genFor(t, "mcf", 1)
+	geom := dram.DDR3_1600()
+	for i := 0; i < 20000; i++ {
+		r := g.Next()
+		if r.Addr.Rank != 0 {
+			t.Fatalf("ref %d escaped its rank partition: %v", i, r.Addr)
+		}
+		if r.Addr.Bank < 0 || r.Addr.Bank >= geom.BanksPerRank ||
+			r.Addr.Row < 0 || r.Addr.Row >= geom.RowsPerBank ||
+			r.Addr.Col < 0 || r.Addr.Col >= geom.ColsPerRow {
+			t.Fatalf("ref %d out of geometry: %v", i, r.Addr)
+		}
+	}
+}
+
+func TestGeneratorMatchesMPKI(t *testing.T) {
+	for _, name := range []string{"mcf", "libquantum", "xalancbmk"} {
+		g := genFor(t, name, 2)
+		p := g.Profile
+		var instr, refs int64
+		for refs < 20000 {
+			r := g.Next()
+			instr += int64(r.Gap) + 1
+			refs++
+		}
+		gotMPKI := float64(refs) / float64(instr) * 1000
+		if math.Abs(gotMPKI-p.MPKI()) > p.MPKI()*0.15 {
+			t.Errorf("%s: generated MPKI %.2f, profile %.2f", name, gotMPKI, p.MPKI())
+		}
+	}
+}
+
+func TestGeneratorWriteFraction(t *testing.T) {
+	g := genFor(t, "lbm", 3)
+	writes, n := 0, 30000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	got := float64(writes) / float64(n)
+	want := g.Profile.WriteFraction()
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("write fraction %.3f, want %.3f", got, want)
+	}
+}
+
+func TestGeneratorRowLocalityOrdering(t *testing.T) {
+	// libquantum (0.93 locality) must produce far more same-row successive
+	// accesses per bank than mcf (0.18).
+	sameRowRate := func(name string) float64 {
+		g := genFor(t, name, 4)
+		last := map[[2]int]int{}
+		same, total := 0, 0
+		for i := 0; i < 30000; i++ {
+			r := g.Next()
+			key := [2]int{r.Addr.Rank, r.Addr.Bank}
+			if prev, ok := last[key]; ok {
+				total++
+				if prev == r.Addr.Row {
+					same++
+				}
+			}
+			last[key] = r.Addr.Row
+		}
+		return float64(same) / float64(total)
+	}
+	lq, mcf := sameRowRate("libquantum"), sameRowRate("mcf")
+	if lq < mcf+0.3 {
+		t.Errorf("row locality not reflected: libquantum %.2f vs mcf %.2f", lq, mcf)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := genFor(t, "milc", 9), genFor(t, "milc", 9)
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	p := Synthetic("s", 20)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.MPKI()-20) > 1e-9 {
+		t.Errorf("Synthetic MPKI = %v", p.MPKI())
+	}
+}
