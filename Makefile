@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race bench chaos sweep clean
+
+# tier1 is the gate every change must pass: full build, vet, and the test
+# suite under the race detector.
+tier1: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# chaos runs the fault-injection campaign against every scheduler; it exits
+# non-zero if any Fixed Service variant lets a fault through undetected.
+chaos:
+	$(GO) run ./cmd/chaos
+
+sweep:
+	$(GO) run ./cmd/sweep -figure all
+
+clean:
+	$(GO) clean ./...

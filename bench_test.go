@@ -22,6 +22,15 @@ func benchSettings() experiments.Settings {
 	return experiments.Settings{Cores: 8, TargetReads: 2500, Seed: 42}
 }
 
+func table(b *testing.B, f func(*experiments.Runner) (experiments.Table, error)) experiments.Table {
+	b.Helper()
+	tab, err := f(experiments.NewRunner(benchSettings()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
 // BenchmarkTable1Solver regenerates the Section 3/4 l values (the paper's
 // Equations 1-4) and reports the rank-partitioned minimum.
 func BenchmarkTable1Solver(b *testing.B) {
@@ -79,7 +88,7 @@ func BenchmarkFigure2TripleAlternation(b *testing.B) {
 func BenchmarkFigure3DesignSpace(b *testing.B) {
 	var tab experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab = experiments.Figure3(experiments.NewRunner(benchSettings()))
+		tab = table(b, experiments.Figure3)
 	}
 	v := tab.Rows[0].Values
 	b.ReportMetric(v[1], "FS_RP")
@@ -124,7 +133,7 @@ func BenchmarkFigure4Leakage(b *testing.B) {
 func BenchmarkFigure5TPTurnLength(b *testing.B) {
 	var tab experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab = experiments.Figure5(experiments.NewRunner(benchSettings()))
+		tab = table(b, experiments.Figure5)
 	}
 	am := tab.Rows[len(tab.Rows)-1]
 	b.ReportMetric(am.Values[0], "TP_BP_minturn_wipc")
@@ -135,7 +144,7 @@ func BenchmarkFigure5TPTurnLength(b *testing.B) {
 func BenchmarkFigure6FSvsTP(b *testing.B) {
 	var tab experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab = experiments.Figure6(experiments.NewRunner(benchSettings()))
+		tab = table(b, experiments.Figure6)
 	}
 	am := tab.Rows[len(tab.Rows)-1]
 	b.ReportMetric(am.Values[0], "FS_RP_wipc")
@@ -147,7 +156,7 @@ func BenchmarkFigure6FSvsTP(b *testing.B) {
 func BenchmarkFigure7Prefetch(b *testing.B) {
 	var tab experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab = experiments.Figure7(experiments.NewRunner(benchSettings()))
+		tab = table(b, experiments.Figure7)
 	}
 	am := tab.Rows[len(tab.Rows)-1]
 	b.ReportMetric(am.Values[1]/am.Values[2], "prefetch_speedup")
@@ -157,7 +166,7 @@ func BenchmarkFigure7Prefetch(b *testing.B) {
 func BenchmarkFigure8Energy(b *testing.B) {
 	var tab experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab = experiments.Figure8(experiments.NewRunner(benchSettings()))
+		tab = table(b, experiments.Figure8)
 	}
 	am := tab.Rows[len(tab.Rows)-1]
 	b.ReportMetric(am.Values[0], "FS_RP_energy")
@@ -169,7 +178,7 @@ func BenchmarkFigure8Energy(b *testing.B) {
 func BenchmarkFigure9EnergyOpts(b *testing.B) {
 	var tab experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab = experiments.Figure9(experiments.NewRunner(benchSettings()))
+		tab = table(b, experiments.Figure9)
 	}
 	am := tab.Rows[len(tab.Rows)-1]
 	b.ReportMetric(am.Values[0], "FS_RP")
@@ -181,7 +190,7 @@ func BenchmarkFigure9EnergyOpts(b *testing.B) {
 func BenchmarkFigure10Scalability(b *testing.B) {
 	var tab experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab = experiments.Figure10(experiments.NewRunner(benchSettings()))
+		tab = table(b, experiments.Figure10)
 	}
 	last := tab.Rows[len(tab.Rows)-1] // 2 cores
 	b.ReportMetric(last.Values[0]/last.Values[2], "FS_over_TP_2core")
@@ -241,7 +250,7 @@ func BenchmarkWeightedIPCMetric(b *testing.B) {
 func BenchmarkAblationDDR4(b *testing.B) {
 	var tab experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab = experiments.AblationDDR4(experiments.NewRunner(benchSettings()))
+		tab = table(b, experiments.AblationDDR4)
 	}
 	am := tab.Rows[len(tab.Rows)-1]
 	b.ReportMetric(am.Values[0], "FS_RP_ddr4")

@@ -1,0 +1,135 @@
+// Command chaos runs the deterministic fault-injection campaign against one
+// or more memory scheduling policies and reports, per fault plan, whether
+// the always-on runtime monitor detected the fault, proved it harmless, or
+// let a victim domain's timing silently change (an undetected leak).
+//
+// The Fixed Service schedulers must show zero undetected faults — their
+// statically proven schedule plus the shadow timing checker catches every
+// perturbation that could reach another domain. The non-secure FR-FCFS
+// baseline visibly fails: dropped or delayed commands and load spikes
+// propagate into other domains' read-delivery times without any monitor
+// flag, which is exactly the timing channel the paper closes. Temporal
+// Partitioning sits between the two: it isolates domains from each other
+// but has no static schedule, so domain-neutral hardware faults (a refresh
+// storm, say) shift timing without any flag — reported as a NOTE, not a
+// failure.
+//
+// Usage:
+//
+//	chaos                         # campaign across every scheduler
+//	chaos -sched fs_rp            # one scheduler
+//	chaos -workload milc -seed 7  # different traffic and fault seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fsmem"
+)
+
+var schedNames = map[string]fsmem.SchedulerKind{
+	"baseline":        fsmem.Baseline,
+	"tp_bp":           fsmem.TPBank,
+	"tp_np":           fsmem.TPNone,
+	"fs_rp":           fsmem.FSRankPart,
+	"fs_bp":           fsmem.FSBankPart,
+	"fs_reordered_bp": fsmem.FSReorderedBank,
+	"fs_np":           fsmem.FSNoPart,
+	"fs_np_optimized": fsmem.FSNoPartTriple,
+}
+
+// isFS reports whether the scheduler has a static schedule the monitor can
+// fully verify — the tier that must show zero undetected faults.
+func isFS(k fsmem.SchedulerKind) bool {
+	switch k {
+	case fsmem.FSRankPart, fsmem.FSBankPart, fsmem.FSReorderedBank, fsmem.FSNoPart, fsmem.FSNoPartTriple:
+		return true
+	}
+	return false
+}
+
+func keys() []string {
+	var out []string
+	for k := range schedNames {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	schedName := flag.String("sched", "all", "scheduler to attack: "+strings.Join(keys(), ", ")+", or all")
+	wl := flag.String("workload", "milc", "benchmark name (rate mode)")
+	cores := flag.Int("cores", 4, "cores / security domains")
+	seed := flag.Uint64("seed", 7, "fault-plan seed")
+	verbose := flag.Bool("v", false, "print stored violation details for detected faults")
+	flag.Parse()
+
+	var scheds []string
+	if *schedName == "all" {
+		scheds = keys()
+	} else if _, ok := schedNames[*schedName]; ok {
+		scheds = []string{*schedName}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown -sched %q (options: %s, all)\n", *schedName, strings.Join(keys(), ", "))
+		os.Exit(2)
+	}
+
+	mix, err := fsmem.RateWorkload(*wl, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, name := range scheds {
+		k := schedNames[name]
+		cfg := fsmem.NewConfig(mix, k)
+		cfg.Seed = 1
+		plans := fsmem.StandardFaultPlans(*cores, *seed)
+		res, err := fsmem.RunFaultCampaign(cfg, plans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %s: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("== %s (%d cycles per run) ==\n", res.Scheduler, res.Cycles)
+		for _, o := range res.Outcomes {
+			fmt.Printf("  %-18s %-10s timing=%-3d schedule=%-3d scheduler=%-3d",
+				o.Plan, o.Verdict, o.TimingViolations, o.ScheduleViolations, o.SchedulerViolations)
+			if len(o.ChangedDomains) > 0 {
+				fmt.Printf(" victim-domains=%v", o.ChangedDomains)
+			}
+			fmt.Println()
+		}
+		und := res.Undetected()
+		switch {
+		case isFS(k) && und == 0:
+			fmt.Printf("  -> PASS: no undetected faults\n\n")
+		case isFS(k):
+			fmt.Printf("  -> FAIL: %d undetected faults on a verifiable FS scheduler\n\n", und)
+			exit = 1
+		case k == fsmem.Baseline && und > 0:
+			fmt.Printf("  -> EXPECTED LEAK: %d silent non-interference failures (non-secure baseline)\n\n", und)
+		case k == fsmem.Baseline:
+			fmt.Printf("  -> note: baseline showed no silent failures on this workload/seed\n\n")
+		case und > 0:
+			fmt.Printf("  -> NOTE: %d undetected — TP isolates domains but has no static schedule for the monitor to check\n\n", und)
+		default:
+			fmt.Printf("  -> PASS: no undetected faults (TP, isolation only)\n\n")
+		}
+		if *verbose {
+			for _, o := range res.Outcomes {
+				if o.Verdict != fsmem.FaultDetected {
+					continue
+				}
+				fmt.Printf("  detail %s: injected %+v\n", o.Plan, o.Injected)
+			}
+		}
+	}
+	os.Exit(exit)
+}

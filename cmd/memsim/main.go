@@ -72,15 +72,15 @@ func main() {
 	var err error
 	switch *wl {
 	case "mix1":
-		mix = fsmem.Mix1()
+		mix, err = fsmem.Mix1()
 	case "mix2":
-		mix = fsmem.Mix2()
+		mix, err = fsmem.Mix2()
 	default:
 		mix, err = fsmem.RateWorkload(*wl, *cores)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	if *configOut != "" {

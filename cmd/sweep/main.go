@@ -31,42 +31,57 @@ func main() {
 		}
 		return t.Format()
 	}
-	_ = render
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	show := func(t experiments.Table, err error) {
+		fail(err)
+		fmt.Println(render(t))
+	}
 
 	r := experiments.NewRunner(experiments.Settings{Cores: *cores, TargetReads: *reads, Seed: *seed})
 	switch *fig {
 	case "all":
-		for _, t := range experiments.All(r) {
+		tables, err := experiments.All(r)
+		for _, t := range tables {
 			fmt.Println(render(t))
 		}
-		for _, t := range experiments.Ablations(r) {
+		fail(err)
+		tables, err = experiments.Ablations(r)
+		for _, t := range tables {
 			fmt.Println(render(t))
 		}
+		fail(err)
 	case "ablations":
-		for _, t := range experiments.Ablations(r) {
+		tables, err := experiments.Ablations(r)
+		for _, t := range tables {
 			fmt.Println(render(t))
 		}
+		fail(err)
 	case "3":
-		fmt.Println(render(experiments.Figure3(r)))
+		show(experiments.Figure3(r))
 	case "4":
-		t, _ := experiments.Figure4(r)
-		fmt.Println(render(t))
+		t, _, err := experiments.Figure4(r)
+		show(t, err)
 		fmt.Println("run cmd/leakage for the full execution-profile series")
 	case "5":
-		fmt.Println(render(experiments.Figure5(r)))
+		show(experiments.Figure5(r))
 	case "6":
-		fmt.Println(render(experiments.Figure6(r)))
+		show(experiments.Figure6(r))
 		if *detail {
-			fmt.Println(render(experiments.Figure6Detail(r)))
+			show(experiments.Figure6Detail(r))
 		}
 	case "7":
-		fmt.Println(render(experiments.Figure7(r)))
+		show(experiments.Figure7(r))
 	case "8":
-		fmt.Println(render(experiments.Figure8(r)))
+		show(experiments.Figure8(r))
 	case "9":
-		fmt.Println(render(experiments.Figure9(r)))
+		show(experiments.Figure9(r))
 	case "10":
-		fmt.Println(render(experiments.Figure10(r)))
+		show(experiments.Figure10(r))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q (options: %v, all)\n", *fig, experiments.Names())
 		os.Exit(2)

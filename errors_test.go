@@ -1,0 +1,138 @@
+package fsmem_test
+
+import (
+	"errors"
+	"testing"
+
+	"fsmem"
+)
+
+// TestMalformedConfigsReturnTypedErrors is the fuzz-ish robustness table:
+// every malformed configuration reachable through the public API must come
+// back as a structured *fsmem.Error with the right code — never a panic,
+// never an untyped string error.
+func TestMalformedConfigsReturnTypedErrors(t *testing.T) {
+	goodMix, err := fsmem.RateWorkload("milc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		cfg  func() fsmem.Config
+		code fsmem.ErrorCode
+	}{
+		{
+			"zero-dram-params",
+			func() fsmem.Config {
+				cfg := fsmem.NewConfig(goodMix, fsmem.FSRankPart)
+				cfg.DRAM = fsmem.DRAMParams{}
+				return cfg
+			},
+			fsmem.ErrConfig,
+		},
+		{
+			"empty-mix",
+			func() fsmem.Config {
+				return fsmem.NewConfig(fsmem.Mix{Name: "hollow"}, fsmem.Baseline)
+			},
+			fsmem.ErrWorkload,
+		},
+		{
+			"invalid-profile",
+			func() fsmem.Config {
+				mix := fsmem.Mix{Name: "bad", Profiles: []fsmem.Profile{{Name: "neg", ReadMPKI: -4}}}
+				return fsmem.NewConfig(mix, fsmem.FSRankPart)
+			},
+			fsmem.ErrWorkload,
+		},
+		{
+			"sla-weights-wrong-length",
+			func() fsmem.Config {
+				cfg := fsmem.NewConfig(goodMix, fsmem.FSRankPart)
+				cfg.SLAWeights = []int{1, 2}
+				return cfg
+			},
+			fsmem.ErrConfig,
+		},
+		{
+			"sla-weights-zero-sum",
+			func() fsmem.Config {
+				cfg := fsmem.NewConfig(goodMix, fsmem.FSRankPart)
+				cfg.SLAWeights = []int{0, 0, 0, 0}
+				return cfg
+			},
+			fsmem.ErrConfig,
+		},
+		{
+			"weighted-reordered",
+			func() fsmem.Config {
+				cfg := fsmem.NewConfig(goodMix, fsmem.FSReorderedBank)
+				cfg.SLAWeights = []int{2, 1, 1, 1}
+				return cfg
+			},
+			fsmem.ErrConfig,
+		},
+		{
+			"refresh-without-rank-partitioning",
+			func() fsmem.Config {
+				cfg := fsmem.NewConfig(goodMix, fsmem.FSBankPart)
+				cfg.RefreshEnabled = true
+				return cfg
+			},
+			fsmem.ErrConfig,
+		},
+		{
+			"negative-tp-turn",
+			func() fsmem.Config {
+				cfg := fsmem.NewConfig(goodMix, fsmem.TPBank)
+				cfg.TPTurnLength = -5
+				return cfg
+			},
+			fsmem.ErrConfig,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := fsmem.Simulate(tc.cfg())
+			if err == nil {
+				t.Fatal("malformed config accepted")
+			}
+			var fe *fsmem.Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v (%T) is not a structured *fsmem.Error", err, err)
+			}
+			if got := fsmem.ErrorCodeOf(err); got != tc.code {
+				t.Errorf("error code %q, want %q (%v)", got, tc.code, err)
+			}
+		})
+	}
+}
+
+// TestMalformedFaultPlansReturnTypedErrors extends the table to the chaos
+// entry point: fault plans referencing nonexistent domains must be rejected
+// with ErrFault before the run starts.
+func TestMalformedFaultPlansReturnTypedErrors(t *testing.T) {
+	mix, err := fsmem.RateWorkload("milc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fsmem.NewConfig(mix, fsmem.FSRankPart)
+	plans := []*fsmem.FaultPlan{
+		{Name: "spike-out-of-range", Loads: []fsmem.LoadFault{
+			{Kind: fsmem.LoadQueueSpike, Domain: 99, AtCycle: 100, Count: 4},
+		}},
+		{Name: "spike-empty", Loads: []fsmem.LoadFault{
+			{Kind: fsmem.LoadQueueSpike, Domain: 0, AtCycle: 100, Count: 0},
+		}},
+	}
+	for _, plan := range plans {
+		_, err := fsmem.SimulateChaos(cfg, plan)
+		if err == nil {
+			t.Fatalf("%s: malformed fault plan accepted", plan.Name)
+		}
+		if got := fsmem.ErrorCodeOf(err); got != fsmem.ErrFault {
+			t.Errorf("%s: error code %q, want %q (%v)", plan.Name, got, fsmem.ErrFault, err)
+		}
+	}
+}

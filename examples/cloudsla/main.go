@@ -52,7 +52,10 @@ func main() {
 	fmt.Println()
 
 	// Eight tenants with heterogeneous SLAs (the paper's mix1 shape).
-	tenants := fsmem.Mix1()
+	tenants, err := fsmem.Mix1()
+	if err != nil {
+		log.Fatal(err)
+	}
 	k, _ := pickPolicy(len(tenants.Profiles), p)
 	before := run(tenants, k)
 

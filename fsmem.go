@@ -34,6 +34,8 @@ import (
 	"fsmem/internal/dram"
 	"fsmem/internal/energy"
 	"fsmem/internal/experiments"
+	"fsmem/internal/fault"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/leakage"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
@@ -106,10 +108,10 @@ func Workloads() []string {
 }
 
 // Mix1 and Mix2 are the paper's mixed workloads.
-func Mix1() Mix { return workload.Mix1() }
+func Mix1() (Mix, error) { return workload.Mix1() }
 
 // Mix2 is the paper's second mixed workload.
-func Mix2() Mix { return workload.Mix2() }
+func Mix2() (Mix, error) { return workload.Mix2() }
 
 // SyntheticWorkload builds an artificial profile with the given memory
 // intensity in misses per kilo-instruction.
@@ -166,7 +168,9 @@ type ExperimentSettings = experiments.Settings
 type FigureTable = experiments.Table
 
 // RunFigures regenerates every evaluation figure at the given scale.
-func RunFigures(s ExperimentSettings) []FigureTable {
+// Figures that fail are skipped; their errors are aggregated in the second
+// return value alongside the tables that did regenerate.
+func RunFigures(s ExperimentSettings) ([]FigureTable, error) {
 	return experiments.All(experiments.NewRunner(s))
 }
 
@@ -187,3 +191,106 @@ type EnergyModel = energy.Model
 
 // NewEnergyModel builds the energy model with typical 4Gb DDR3 currents.
 func NewEnergyModel(p DRAMParams) *EnergyModel { return energy.NewModel(p, energy.DDR3_4Gb()) }
+
+// Error is the structured error type every library path returns: a Code
+// classifying the failure plus, where meaningful, the offending bus cycle
+// and DRAM command. Use errors.As to recover it and ErrorCodeOf for the
+// code alone.
+type Error = fsmerr.Error
+
+// ErrorCode classifies an Error for programmatic handling.
+type ErrorCode = fsmerr.Code
+
+// The error-code taxonomy (see DESIGN.md).
+const (
+	ErrConfig     = fsmerr.CodeConfig
+	ErrWorkload   = fsmerr.CodeWorkload
+	ErrTiming     = fsmerr.CodeTiming
+	ErrSchedule   = fsmerr.CodeSchedule
+	ErrQueue      = fsmerr.CodeQueue
+	ErrDrain      = fsmerr.CodeDrain
+	ErrTruncated  = fsmerr.CodeTruncated
+	ErrExperiment = fsmerr.CodeExperiment
+	ErrFault      = fsmerr.CodeFault
+)
+
+// ErrorCodeOf extracts the ErrorCode of an error, or "" for foreign errors.
+func ErrorCodeOf(err error) ErrorCode { return fsmerr.CodeOf(err) }
+
+// FaultPlan is a seeded, deterministic fault-injection plan: DRAM timing
+// derates (the monitor's model of the "true" hardware), command-stream
+// faults (drop/delay/duplicate on the bus), and load faults (per-domain
+// arrival jitter, queue spikes, refresh storms).
+type FaultPlan = fault.Plan
+
+// Fault-plan building blocks.
+type (
+	// CommandFault drops, delays, or duplicates the first matching command.
+	CommandFault = fault.CommandFault
+	// RankDerate slows one rank (or all, Rank = -1) of the true hardware.
+	RankDerate = fault.RankDerate
+	// LoadFault perturbs one domain's request stream.
+	LoadFault = fault.LoadFault
+	// TimingDerate multiplies individual DRAM timing parameters.
+	TimingDerate = fault.Derate
+	// FaultAction selects what a CommandFault does to the matched command.
+	FaultAction = fault.Action
+	// LoadKind selects a load-fault flavor.
+	LoadKind = fault.LoadKind
+)
+
+// Command-fault actions.
+const (
+	FaultDrop      = fault.ActionDrop
+	FaultDelay     = fault.ActionDelay
+	FaultDuplicate = fault.ActionDuplicate
+)
+
+// Load-fault flavors.
+const (
+	LoadJitter       = fault.LoadJitter
+	LoadQueueSpike   = fault.LoadQueueSpike
+	LoadRefreshStorm = fault.LoadRefreshStorm
+)
+
+// MonitorReport is the always-on runtime monitor's verdict on a run: shadow
+// timing-checker violations, planned-vs-observed schedule divergences
+// (Fixed Service only), scheduler-reported violations, and the per-domain
+// read-delivery traces the non-interference comparison is built on.
+type MonitorReport = fault.Report
+
+// SimulateChaos runs one simulation under a fault plan. The monitor's
+// verdict is in Result.Monitor (also populated, without faults, by
+// Simulate).
+func SimulateChaos(cfg Config, plan *FaultPlan) (Result, error) {
+	return sim.SimulateChaos(cfg, plan)
+}
+
+// FaultOutcome classifies what one fault plan did to one scheduler, and
+// FaultCampaign is the full matrix for one configuration.
+type (
+	FaultOutcome  = sim.FaultOutcome
+	FaultVerdict  = sim.FaultVerdict
+	FaultCampaign = sim.CampaignResult
+)
+
+// Campaign verdicts.
+const (
+	FaultDetected   = sim.VerdictDetected
+	FaultHarmless   = sim.VerdictHarmless
+	FaultUndetected = sim.VerdictUndetected
+)
+
+// StandardFaultPlans builds the standard campaign plan set against the
+// given target domains.
+func StandardFaultPlans(domains int, seed uint64) []*FaultPlan {
+	return fault.CampaignPlans(domains, seed)
+}
+
+// RunFaultCampaign executes every plan against the configuration plus an
+// unfaulted reference run and classifies each fault as detected, harmless,
+// or undetected. Fixed Service schedulers must show zero undetected faults;
+// the non-secure baseline will not.
+func RunFaultCampaign(cfg Config, plans []*FaultPlan) (*FaultCampaign, error) {
+	return sim.RunCampaign(cfg, plans)
+}

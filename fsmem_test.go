@@ -52,8 +52,10 @@ func TestPublicAPIWorkloads(t *testing.T) {
 	if len(names) < 10 {
 		t.Fatalf("only %d workloads", len(names))
 	}
-	if len(fsmem.Mix1().Profiles) != 8 || len(fsmem.Mix2().Profiles) != 8 {
-		t.Error("mixes malformed")
+	m1, err1 := fsmem.Mix1()
+	m2, err2 := fsmem.Mix2()
+	if err1 != nil || err2 != nil || len(m1.Profiles) != 8 || len(m2.Profiles) != 8 {
+		t.Errorf("mixes malformed: %v, %v", err1, err2)
 	}
 	p := fsmem.SyntheticWorkload("probe", 12)
 	if p.MPKI() < 11.9 || p.MPKI() > 12.1 {

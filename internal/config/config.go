@@ -117,9 +117,15 @@ func (e Experiment) ToSimConfig() (sim.Config, error) {
 	var err error
 	switch e.Workload {
 	case "mix1":
-		mix = workload.Mix1()
+		mix, err = workload.Mix1()
+		if err != nil {
+			return sim.Config{}, err
+		}
 	case "mix2":
-		mix = workload.Mix2()
+		mix, err = workload.Mix2()
+		if err != nil {
+			return sim.Config{}, err
+		}
 	default:
 		mix, err = workload.Rate(e.Workload, cores)
 		if err != nil {

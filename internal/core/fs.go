@@ -5,6 +5,7 @@ import (
 
 	"fsmem/internal/addr"
 	"fsmem/internal/dram"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/mem"
 	"fsmem/internal/trace"
 )
@@ -138,6 +139,11 @@ type FS struct {
 	refreshDeadline []int64
 	refreshUntil    []int64
 	Refreshes       int64
+
+	// Violations counts planned commands the live channel rejected. Always
+	// zero on healthy hardware; every increment is also forwarded to the
+	// controller's runtime monitor.
+	Violations int64
 
 	pending []plannedCmd
 	// rngs holds one generator per domain: a domain's dummy-address draws
@@ -340,6 +346,12 @@ func (f *FS) Idle() bool { return len(f.pending) == 0 }
 // empties — the CPU-pipeline-drain analogue of §5.1.
 func (f *FS) BeginDrain() { f.quiescing = true }
 
+// CancelDrain resumes slot planning after a drain whose follow-up (e.g. an
+// SLA reconfiguration) failed: the slot grid kept advancing while
+// quiescing, so planning can restart on the same schedule with no gap in
+// the static command stream.
+func (f *FS) CancelDrain() { f.quiescing = false }
+
 // L returns the slot spacing in use.
 func (f *FS) L() int { return f.l }
 
@@ -376,9 +388,13 @@ func (f *FS) issue(c *mem.Controller, pc plannedCmd) {
 		err = c.Issue(pc.cmd)
 	}
 	if err != nil {
-		// The static pipeline is proven conflict-free; a violation here is
-		// a bug, and hiding it would undermine the security argument.
-		panic(fmt.Sprintf("core: FS pipeline violated DRAM timing: %v", err))
+		// The static pipeline is proven conflict-free; a rejection here
+		// means the proof's premises stopped holding (a fault, or a bug).
+		// Hiding it would undermine the security argument, so it is
+		// reported to the runtime monitor; the transaction still completes
+		// so cores are not deadlocked waiting for data.
+		f.Violations++
+		c.ReportViolation(fsmerr.At(fsmerr.CodeTiming, "core.fs", pc.cycle, pc.cmd, err))
 	}
 	if pc.req != nil {
 		c.CompleteAt(pc.req, pc.release)
@@ -437,7 +453,8 @@ func (f *FS) planSlot(c *mem.Controller, s int64) {
 	if f.refreshEnabled && f.planRefresh(c, domain, anchor) {
 		return // the slot carried a REF for one of the domain's ranks
 	}
-	req := f.selectRequest(c, domain, group, anchor)
+	elig := func(a dram.Address, write bool) bool { return f.eligible(a, group, anchor, write) }
+	req := f.selectRequest(c, domain, elig)
 	if req == nil {
 		if f.eopts.PowerDown && f.variant == FSRankPart && f.rankIdle(c, domain) {
 			// Optimization 3: the whole interval for this rank set is idle;
@@ -449,7 +466,7 @@ func (f *FS) planSlot(c *mem.Controller, s int64) {
 			c.Dom[domain].Dummies++ // the slot is still consumed
 			return
 		}
-		req = f.dummyRequest(c, domain, group, anchor)
+		req = f.dummyRequest(c, domain, group, elig)
 		if req == nil {
 			// No safe bank this slot (transient hazard): skip silently; the
 			// slot grid is unchanged so nothing is revealed.
@@ -457,7 +474,7 @@ func (f *FS) planSlot(c *mem.Controller, s int64) {
 			return
 		}
 	}
-	f.scheduleTransaction(c, req, anchor, 0)
+	f.scheduleTransaction(c, req, anchor, 0, anchor)
 }
 
 // planRefresh issues a due refresh for one of the domain's ranks on this
@@ -481,7 +498,7 @@ func (f *FS) planRefresh(c *mem.Controller, domain int, anchor int64) bool {
 		}
 		f.insertPending(plannedCmd{
 			cycle: refCycle,
-			cmd:   dram.Command{Kind: dram.KindRefresh, Rank: r},
+			cmd:   dram.Command{Kind: dram.KindRefresh, Rank: r, Domain: dram.NoDomain},
 		})
 		f.refreshUntil[r] = refCycle + int64(f.p.TRFC)
 		f.refreshDeadline[r] += int64(f.p.TREFI)
@@ -501,9 +518,12 @@ func (f *FS) rankIdle(c *mem.Controller, domain int) bool {
 }
 
 // selectRequest picks the domain's transaction for a slot: demand reads
-// first (writes when the write buffer is filling), then prefetches. A
-// request is eligible if its bank is recovered and in the allowed group.
-func (f *FS) selectRequest(c *mem.Controller, domain, group int, anchor int64) *mem.Request {
+// first (writes when the write buffer is filling), then prefetches. The
+// elig predicate decides whether a candidate may occupy the slot; the
+// slot-grid variants check the full guard set at the slot anchor, while the
+// reordered variant uses a mix-independent variant (eligibleReordered) so
+// the verdict cannot leak other domains' read/write composition.
+func (f *FS) selectRequest(c *mem.Controller, domain int, elig func(a dram.Address, write bool) bool) *mem.Request {
 	preferWrites := len(c.WriteQ[domain]) >= c.Cfg.WriteCap*3/4
 	qs := [][]*mem.Request{c.ReadQ[domain], c.WriteQ[domain]}
 	if preferWrites {
@@ -511,18 +531,23 @@ func (f *FS) selectRequest(c *mem.Controller, domain, group int, anchor int64) *
 	}
 	for _, q := range qs {
 		for _, r := range q {
-			if f.eligible(r.Addr, group, anchor, r.Write) {
+			if elig(r.Addr, r.Write) {
+				var err error
 				if r.Write {
-					c.RemoveWrite(r)
+					err = c.RemoveWrite(r)
 				} else {
-					c.RemoveRead(r)
+					err = c.RemoveRead(r)
+				}
+				if err != nil {
+					c.ReportViolation(err)
+					continue
 				}
 				return r
 			}
 		}
 	}
 	// Prefetch into the otherwise-dummy slot.
-	if a, ok := c.NextPrefetch(domain); ok && f.spaces[domain].Contains(a.Rank, a.Bank) && f.eligible(a, group, anchor, false) {
+	if a, ok := c.NextPrefetch(domain); ok && f.spaces[domain].Contains(a.Rank, a.Bank) && elig(a, false) {
 		return &mem.Request{Domain: domain, Addr: a, Arrive: c.Cycle, Prefetch: true}
 	}
 	return nil
@@ -561,10 +586,41 @@ func (f *FS) eligible(a dram.Address, group int, anchor int64, write bool) bool 
 	return casCycle >= f.rankLastWriteCAS[a.Rank]+int64(f.p.WriteToReadGap())
 }
 
+// eligibleReordered is the reordered-pipeline eligibility check. Its verdict
+// must be a function of the domain's own state only: a transaction's actual
+// slot follows the global read/write mix, so any guard whose outcome shifts
+// with the slot anchor would couple the domains. The bank-recovery guard —
+// the only one that legitimately binds on the solved grid (Q can be shorter
+// than a same-bank turnaround) — is therefore evaluated at the fixed
+// interval-start anchor, against recovery times that scheduleTransaction
+// records at the worst-case last slot (see bankAnchor there): both sides are
+// mix-independent, and ready-at-slot-0 implies ready at any later slot. The
+// shared rank guards are evaluated at the exact slot anchor, where the
+// ReorderedSlotSpacing solver proves they never bind; they stay as
+// defense-in-depth, feeding the runtime monitor if the proof's premises
+// break.
+func (f *FS) eligibleReordered(a dram.Address, checkAnchor, exactAnchor int64, write bool) bool {
+	if checkAnchor+int64(f.off.act(write)) < f.bankReadyAt[a.Rank][a.Bank] {
+		return false
+	}
+	actCycle := exactAnchor + int64(f.off.act(write))
+	if actCycle < f.rankActHist[a.Rank][0]+int64(f.p.TRRD) {
+		return false
+	}
+	if oldest := f.rankActHist[a.Rank][3]; oldest != dram.NeverCycle && actCycle < oldest+int64(f.p.TFAW) {
+		return false
+	}
+	casCycle := exactAnchor + int64(f.off.cas(write))
+	if write {
+		return casCycle >= f.rankLastReadCAS[a.Rank]+int64(f.p.ReadToWriteGap())
+	}
+	return casCycle >= f.rankLastWriteCAS[a.Rank]+int64(f.p.WriteToReadGap())
+}
+
 // dummyRequest fabricates a dummy read to a recovered bank in the domain's
 // partition ("a read request to a random address within the rank [whose]
 // returned value is simply discarded").
-func (f *FS) dummyRequest(c *mem.Controller, domain, group int, anchor int64) *mem.Request {
+func (f *FS) dummyRequest(c *mem.Controller, domain, group int, elig func(a dram.Address, write bool) bool) *mem.Request {
 	space := f.spaces[domain]
 	rng := f.rngs[domain]
 	rank := space.Ranks[rng.Intn(len(space.Ranks))]
@@ -575,7 +631,7 @@ func (f *FS) dummyRequest(c *mem.Controller, domain, group int, anchor int64) *m
 		if group >= 0 && bank%3 != group {
 			continue
 		}
-		if !f.eligible(dram.Address{Rank: rank, Bank: bank}, group, anchor, false) {
+		if !elig(dram.Address{Rank: rank, Bank: bank}, false) {
 			continue
 		}
 		return &mem.Request{
@@ -591,7 +647,12 @@ func (f *FS) dummyRequest(c *mem.Controller, domain, group int, anchor int64) *m
 // scheduleTransaction plans the ACT and CAS(+AP) of one transaction whose
 // slot anchor is given; releaseAt overrides the completion cycle (0 = data
 // end), used for en-masse release under reordered bank partitioning.
-func (f *FS) scheduleTransaction(c *mem.Controller, req *mem.Request, anchor, releaseAt int64) {
+// bankAnchor is the anchor used to record the bank's precharge recovery: the
+// slot-grid variants pass the slot anchor itself, while the reordered
+// variant passes the interval's worst-case last slot so the recorded
+// recovery time does not encode the transaction's mix-dependent slot
+// position (see eligibleReordered).
+func (f *FS) scheduleTransaction(c *mem.Controller, req *mem.Request, anchor, releaseAt, bankAnchor int64) {
 	w := req.Write
 	actCycle := anchor + int64(f.off.act(w))
 	casCycle := anchor + int64(f.off.cas(w))
@@ -615,7 +676,7 @@ func (f *FS) scheduleTransaction(c *mem.Controller, req *mem.Request, anchor, re
 
 	f.insertPending(plannedCmd{
 		cycle:      actCycle,
-		cmd:        dram.Command{Kind: dram.KindActivate, Rank: a.Rank, Bank: a.Bank, Row: a.Row},
+		cmd:        dram.Command{Kind: dram.KindActivate, Rank: a.Rank, Bank: a.Bank, Row: a.Row, Domain: req.Domain},
 		suppressed: suppress || boost,
 	})
 	release := dataEnd
@@ -626,25 +687,29 @@ func (f *FS) scheduleTransaction(c *mem.Controller, req *mem.Request, anchor, re
 	req.DataEnd = dataEnd
 	f.insertPending(plannedCmd{
 		cycle:      casCycle,
-		cmd:        dram.Command{Kind: casKind, Rank: a.Rank, Bank: a.Bank, Col: a.Col},
+		cmd:        dram.Command{Kind: casKind, Rank: a.Rank, Bank: a.Bank, Col: a.Col, Domain: req.Domain},
 		suppressed: suppress,
 		req:        req,
 		release:    release,
 	})
 
-	// Track precharge recovery for the hazard guard.
-	preStart := actCycle + int64(f.p.TRAS)
+	// Track precharge recovery for the hazard guard, anchored at bankAnchor
+	// (>= anchor, so the recorded recovery is never optimistic).
+	bAct := bankAnchor + int64(f.off.act(w))
+	bCas := bankAnchor + int64(f.off.cas(w))
+	bDataEnd := bankAnchor + int64(f.off.data(w)) + int64(f.p.TBURST)
+	preStart := bAct + int64(f.p.TRAS)
 	if w {
-		if s := dataEnd + int64(f.p.TWR); s > preStart {
+		if s := bDataEnd + int64(f.p.TWR); s > preStart {
 			preStart = s
 		}
 	} else {
-		if s := casCycle + int64(f.p.TRTP); s > preStart {
+		if s := bCas + int64(f.p.TRTP); s > preStart {
 			preStart = s
 		}
 	}
 	ready := preStart + int64(f.p.TRP)
-	if trc := actCycle + int64(f.p.TRC); trc > ready {
+	if trc := bAct + int64(f.p.TRC); trc > ready {
 		ready = trc
 	}
 	f.bankReadyAt[a.Rank][a.Bank] = ready
@@ -673,14 +738,32 @@ func (f *FS) planReorderedInterval(c *mem.Controller, interval int64) {
 	slotSpacing := f.reorderSpacing        // solved data-slot spacing (6 on DDR3)
 	dataLead := int64(f.p.TRCD + f.p.TCAS) // first read ACT lands at base
 
-	// Collect one transaction (or dummy) per domain. Eligibility is checked
-	// against the worst-case (earliest) ACT cycle this interval.
+	// Collect one transaction (or dummy) per domain. The eligibility verdict
+	// must not depend on which slot the candidate lands in — slot positions
+	// follow the global read/write mix, so a slot-anchored guard would couple
+	// the domains. eligibleReordered checks the bank guard at the fixed
+	// interval-start anchor and the (never-binding) rank guards at the
+	// candidate's exact grid position: a read's slot is the number of reads
+	// selected before it (final — later selections only append after it), a
+	// write's is its earliest possible slot (later reads only push writes
+	// later, which relaxes the minimum-gap guards).
+	checkAnchor := base + dataLead
+	lastAnchor := base + dataLead + int64(f.domains-1)*slotSpacing
 	reads := make([]*mem.Request, 0, f.domains)
 	writes := make([]*mem.Request, 0, f.domains)
 	for d := 0; d < f.domains; d++ {
-		req := f.selectRequest(c, d, -1, base+dataLead)
+		readAnchor := base + dataLead + int64(len(reads))*slotSpacing
+		writeAnchor := base + dataLead + int64(len(reads)+len(writes))*slotSpacing
+		elig := func(a dram.Address, write bool) bool {
+			exact := readAnchor
+			if write {
+				exact = writeAnchor
+			}
+			return f.eligibleReordered(a, checkAnchor, exact, write)
+		}
+		req := f.selectRequest(c, d, elig)
 		if req == nil {
-			req = f.dummyRequest(c, d, -1, base+dataLead)
+			req = f.dummyRequest(c, d, -1, elig)
 		}
 		if req == nil {
 			c.Dom[d].Dummies++
@@ -699,12 +782,12 @@ func (f *FS) planReorderedInterval(c *mem.Controller, interval int64) {
 	slot := int64(0)
 	for _, r := range reads {
 		anchor := base + dataLead + slot*slotSpacing
-		f.scheduleTransaction(c, r, anchor, releaseReads)
+		f.scheduleTransaction(c, r, anchor, releaseReads, lastAnchor)
 		slot++
 	}
 	for _, w := range writes {
 		anchor := base + dataLead + slot*slotSpacing
-		f.scheduleTransaction(c, w, anchor, 0)
+		f.scheduleTransaction(c, w, anchor, 0, lastAnchor)
 		slot++
 	}
 }

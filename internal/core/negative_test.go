@@ -1,11 +1,11 @@
 package core
 
 import (
-	"strings"
 	"testing"
 
 	"fsmem/internal/addr"
 	"fsmem/internal/dram"
+	"fsmem/internal/fault"
 	"fsmem/internal/mem"
 )
 
@@ -15,7 +15,9 @@ import (
 
 // TestInfeasibleSpacingIsCaught runs FS_RP at l=6 — infeasible per
 // Equation 1 (6 equals the ACT-read/ACT-write command-offset difference) —
-// and requires the engine to panic on the resulting command-bus collision.
+// and requires the engine to report the resulting command-bus collision as
+// a structured violation, both on its own counter and through the runtime
+// monitor.
 func TestInfeasibleSpacingIsCaught(t *testing.T) {
 	p := paperParams()
 	if ok, _ := Feasible(6, FixedData, addr.PartitionRank, p); ok {
@@ -26,6 +28,8 @@ func TestInfeasibleSpacingIsCaught(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctl := mem.NewController(p, mem.DefaultConfig(8), fs)
+	mon := fault.NewMonitor(p, 8)
+	ctl.AttachMonitor(mon)
 	// Mixed reads and writes provoke the colliding offsets.
 	for d := 0; d < 8; d++ {
 		for i := 0; i < 4; i++ {
@@ -37,17 +41,18 @@ func TestInfeasibleSpacingIsCaught(t *testing.T) {
 			}
 		}
 	}
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("engine accepted an infeasible l=6 schedule without a timing panic")
-		}
-		if !strings.Contains(r.(string), "violated DRAM timing") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
-	}()
 	for ctl.Cycle < fs.Q()*4 {
 		ctl.Tick()
+	}
+	if fs.Violations == 0 {
+		t.Fatal("engine accepted an infeasible l=6 schedule without reporting a timing violation")
+	}
+	rep := mon.Finalize(nil)
+	if rep.SchedulerViolations == 0 {
+		t.Fatal("monitor never received the scheduler's violation report")
+	}
+	if rep.Ok() {
+		t.Fatal("monitor report for a broken schedule must not be clean")
 	}
 }
 

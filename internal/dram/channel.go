@@ -71,6 +71,7 @@ type Channel struct {
 	P Params
 
 	ranks        []rankState
+	derate       []Derate // per-rank additive timing margins (nil = nominal)
 	lastCmdCycle int64
 	dataOcc      []dataSlot // ring of recent/future data-bus occupancy
 	dataHead     int
@@ -172,26 +173,27 @@ func (ch *Channel) CanIssue(cmd Command, cycle int64) error {
 	}
 
 	p := ch.P
+	der := ch.der(cmd.Rank)
 	switch cmd.Kind {
 	case KindActivate:
 		bk := ch.bank(cmd)
 		if bk.openRow != ClosedRow {
 			return reject(cmd, cycle, "bank already open (needs PRE)", NeverCycle)
 		}
-		if bk.prechargeStart != NeverCycle && cycle < bk.prechargeStart+int64(p.TRP) {
-			return reject(cmd, cycle, "tRP", bk.prechargeStart+int64(p.TRP))
+		if bk.prechargeStart != NeverCycle && cycle < bk.prechargeStart+int64(p.TRP+der.TRP) {
+			return reject(cmd, cycle, "tRP", bk.prechargeStart+int64(p.TRP+der.TRP))
 		}
-		if cycle < bk.lastAct+int64(p.TRC) {
-			return reject(cmd, cycle, "tRC", bk.lastAct+int64(p.TRC))
+		if cycle < bk.lastAct+int64(p.TRC+der.TRC) {
+			return reject(cmd, cycle, "tRC", bk.lastAct+int64(p.TRC+der.TRC))
 		}
-		if cycle < rk.actHist[0]+int64(p.RRDOther()) {
-			return reject(cmd, cycle, "tRRD", rk.actHist[0]+int64(p.RRDOther()))
+		if cycle < rk.actHist[0]+int64(p.RRDOther()+der.TRRD) {
+			return reject(cmd, cycle, "tRRD", rk.actHist[0]+int64(p.RRDOther()+der.TRRD))
 		}
-		if g := p.BankGroup(cmd.Bank); cycle < rk.groupLastAct[g]+int64(p.RRDSame()) {
-			return reject(cmd, cycle, "tRRD_L (same bank group)", rk.groupLastAct[g]+int64(p.RRDSame()))
+		if g := p.BankGroup(cmd.Bank); cycle < rk.groupLastAct[g]+int64(p.RRDSame()+der.TRRD) {
+			return reject(cmd, cycle, "tRRD_L (same bank group)", rk.groupLastAct[g]+int64(p.RRDSame()+der.TRRD))
 		}
-		if oldest := rk.actHist[3]; oldest != NeverCycle && cycle < oldest+int64(p.TFAW) {
-			return reject(cmd, cycle, "tFAW", oldest+int64(p.TFAW))
+		if oldest := rk.actHist[3]; oldest != NeverCycle && cycle < oldest+int64(p.TFAW+der.TFAW) {
+			return reject(cmd, cycle, "tFAW", oldest+int64(p.TFAW+der.TFAW))
 		}
 
 	case KindRead, KindReadAP:
@@ -199,21 +201,21 @@ func (ch *Channel) CanIssue(cmd Command, cycle int64) error {
 		if bk.openRow == ClosedRow {
 			return reject(cmd, cycle, "read to closed bank", NeverCycle)
 		}
-		if cycle < bk.lastAct+int64(p.TRCD) {
-			return reject(cmd, cycle, "tRCD", bk.lastAct+int64(p.TRCD))
+		if cycle < bk.lastAct+int64(p.TRCD+der.TRCD) {
+			return reject(cmd, cycle, "tRCD", bk.lastAct+int64(p.TRCD+der.TRCD))
 		}
-		if cycle < rk.lastCAS+int64(p.CCDOther()) {
-			return reject(cmd, cycle, "tCCD", rk.lastCAS+int64(p.CCDOther()))
+		if cycle < rk.lastCAS+int64(p.CCDOther()+der.TCCD) {
+			return reject(cmd, cycle, "tCCD", rk.lastCAS+int64(p.CCDOther()+der.TCCD))
 		}
-		if cycle < rk.lastWriteDataEnd+int64(p.WTROther()) {
-			return reject(cmd, cycle, "tWTR", rk.lastWriteDataEnd+int64(p.WTROther()))
+		if cycle < rk.lastWriteDataEnd+int64(p.WTROther()+der.TWTR) {
+			return reject(cmd, cycle, "tWTR", rk.lastWriteDataEnd+int64(p.WTROther()+der.TWTR))
 		}
 		if g := p.BankGroup(cmd.Bank); true {
-			if cycle < rk.groupLastCAS[g]+int64(p.CCDSame()) {
-				return reject(cmd, cycle, "tCCD_L (same bank group)", rk.groupLastCAS[g]+int64(p.CCDSame()))
+			if cycle < rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD) {
+				return reject(cmd, cycle, "tCCD_L (same bank group)", rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD))
 			}
-			if cycle < rk.groupLastWriteDataEnd[g]+int64(p.WTRSame()) {
-				return reject(cmd, cycle, "tWTR_L (same bank group)", rk.groupLastWriteDataEnd[g]+int64(p.WTRSame()))
+			if cycle < rk.groupLastWriteDataEnd[g]+int64(p.WTRSame()+der.TWTR) {
+				return reject(cmd, cycle, "tWTR_L (same bank group)", rk.groupLastWriteDataEnd[g]+int64(p.WTRSame()+der.TWTR))
 			}
 		}
 		if err := ch.checkDataBus(cmd, cycle, cycle+int64(p.TCAS)); err != nil {
@@ -225,14 +227,14 @@ func (ch *Channel) CanIssue(cmd Command, cycle int64) error {
 		if bk.openRow == ClosedRow {
 			return reject(cmd, cycle, "write to closed bank", NeverCycle)
 		}
-		if cycle < bk.lastAct+int64(p.TRCD) {
-			return reject(cmd, cycle, "tRCD", bk.lastAct+int64(p.TRCD))
+		if cycle < bk.lastAct+int64(p.TRCD+der.TRCD) {
+			return reject(cmd, cycle, "tRCD", bk.lastAct+int64(p.TRCD+der.TRCD))
 		}
-		if cycle < rk.lastCAS+int64(p.CCDOther()) {
-			return reject(cmd, cycle, "tCCD", rk.lastCAS+int64(p.CCDOther()))
+		if cycle < rk.lastCAS+int64(p.CCDOther()+der.TCCD) {
+			return reject(cmd, cycle, "tCCD", rk.lastCAS+int64(p.CCDOther()+der.TCCD))
 		}
-		if g := p.BankGroup(cmd.Bank); cycle < rk.groupLastCAS[g]+int64(p.CCDSame()) {
-			return reject(cmd, cycle, "tCCD_L (same bank group)", rk.groupLastCAS[g]+int64(p.CCDSame()))
+		if g := p.BankGroup(cmd.Bank); cycle < rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD) {
+			return reject(cmd, cycle, "tCCD_L (same bank group)", rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD))
 		}
 		if err := ch.checkDataBus(cmd, cycle, cycle+int64(p.TCWD)); err != nil {
 			return err
@@ -243,14 +245,14 @@ func (ch *Channel) CanIssue(cmd Command, cycle int64) error {
 		if bk.openRow == ClosedRow {
 			return reject(cmd, cycle, "precharge to closed bank", NeverCycle)
 		}
-		if cycle < bk.lastAct+int64(p.TRAS) {
-			return reject(cmd, cycle, "tRAS", bk.lastAct+int64(p.TRAS))
+		if cycle < bk.lastAct+int64(p.TRAS+der.TRAS) {
+			return reject(cmd, cycle, "tRAS", bk.lastAct+int64(p.TRAS+der.TRAS))
 		}
-		if cycle < bk.lastReadCAS+int64(p.TRTP) {
-			return reject(cmd, cycle, "tRTP", bk.lastReadCAS+int64(p.TRTP))
+		if cycle < bk.lastReadCAS+int64(p.TRTP+der.TRTP) {
+			return reject(cmd, cycle, "tRTP", bk.lastReadCAS+int64(p.TRTP+der.TRTP))
 		}
-		if cycle < bk.writeDataEnd+int64(p.TWR) {
-			return reject(cmd, cycle, "tWR", bk.writeDataEnd+int64(p.TWR))
+		if cycle < bk.writeDataEnd+int64(p.TWR+der.TWR) {
+			return reject(cmd, cycle, "tWR", bk.writeDataEnd+int64(p.TWR+der.TWR))
 		}
 
 	case KindRefresh:
@@ -259,8 +261,8 @@ func (ch *Channel) CanIssue(cmd Command, cycle int64) error {
 			if bk.openRow != ClosedRow {
 				return reject(cmd, cycle, fmt.Sprintf("refresh with bank %d open", b), NeverCycle)
 			}
-			if bk.prechargeStart != NeverCycle && cycle < bk.prechargeStart+int64(p.TRP) {
-				return reject(cmd, cycle, "tRP before refresh", bk.prechargeStart+int64(p.TRP))
+			if bk.prechargeStart != NeverCycle && cycle < bk.prechargeStart+int64(p.TRP+der.TRP) {
+				return reject(cmd, cycle, "tRP before refresh", bk.prechargeStart+int64(p.TRP+der.TRP))
 			}
 		}
 
@@ -347,8 +349,9 @@ func (ch *Channel) IssueEx(cmd Command, cycle int64, suppressed bool) error {
 		rk.groupLastCAS[p.BankGroup(cmd.Bank)] = cycle
 		ch.recordData(cmd.Rank, cycle+int64(p.TCAS))
 		if cmd.Kind == KindReadAP {
-			start := cycle + int64(p.TRTP)
-			if s := bk.lastAct + int64(p.TRAS); s > start {
+			der := ch.der(cmd.Rank)
+			start := cycle + int64(p.TRTP+der.TRTP)
+			if s := bk.lastAct + int64(p.TRAS+der.TRAS); s > start {
 				start = s
 			}
 			bk.prechargeStart = start
@@ -376,8 +379,9 @@ func (ch *Channel) IssueEx(cmd Command, cycle int64, suppressed bool) error {
 		rk.groupLastWriteDataEnd[p.BankGroup(cmd.Bank)] = dataEnd
 		ch.recordData(cmd.Rank, cycle+int64(p.TCWD))
 		if cmd.Kind == KindWriteAP {
-			start := dataEnd + int64(p.TWR)
-			if s := bk.lastAct + int64(p.TRAS); s > start {
+			der := ch.der(cmd.Rank)
+			start := dataEnd + int64(p.TWR+der.TWR)
+			if s := bk.lastAct + int64(p.TRAS+der.TRAS); s > start {
 				start = s
 			}
 			bk.prechargeStart = start

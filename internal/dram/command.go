@@ -69,15 +69,26 @@ func (a Address) String() string {
 	return fmt.Sprintf("c%d/r%d/b%d/row%d/col%d", a.Channel, a.Rank, a.Bank, a.Row, a.Col)
 }
 
+// NoDomain marks a command that serves no particular security domain
+// (refresh, power management, injected faults).
+const NoDomain = -1
+
 // Command is one entry on a channel's command bus.
 // Refresh, PowerDown and PowerUp address a whole rank; Bank/Row/Col are
 // ignored for them.
+//
+// Domain attributes the command to the security domain it serves; it has
+// no effect on timing and exists for the runtime non-interference monitor,
+// which tracks per-domain command-issue traces. Schedulers should set it
+// (NoDomain for unattributed commands); the zero value attributes to
+// domain 0, which is harmless for code that never consults the monitor.
 type Command struct {
-	Kind Kind
-	Rank int
-	Bank int
-	Row  int
-	Col  int
+	Kind   Kind
+	Rank   int
+	Bank   int
+	Row    int
+	Col    int
+	Domain int
 }
 
 // String formats the command with its target.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"fsmem/internal/core"
 	"fsmem/internal/dram"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
 	"fsmem/internal/workload"
@@ -16,7 +18,7 @@ import (
 // the no-partitioning worst case (l=43). DESIGN.md calls this the "anchor
 // choice" ablation — the entire gap between the anchors is the slot
 // spacing they admit.
-func AblationSlotSpacing(r *Runner) Table {
+func AblationSlotSpacing(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Ablation A1",
 		Title:   "FS_BP throughput vs slot spacing l (8 threads)",
@@ -24,11 +26,18 @@ func AblationSlotSpacing(r *Runner) Table {
 	}
 	sums := make([]float64, 3)
 	n := 0.0
-	for _, mix := range r.suite() {
+	suite, err := r.suite()
+	if err != nil {
+		return Table{}, err
+	}
+	for _, mix := range suite {
 		row := Row{Label: mix.Name}
 		for i, l := range []int{15, 21, 43} {
 			l := l
-			w := r.weighted(mix, sim.FSBankPart, func(c *sim.Config) { c.FSSlotSpacing = l })
+			w, err := r.weighted(mix, sim.FSBankPart, func(c *sim.Config) { c.FSSlotSpacing = l })
+			if err != nil {
+				return Table{}, err
+			}
 			row.Values = append(row.Values, w)
 			sums[i] += w
 		}
@@ -41,13 +50,13 @@ func AblationSlotSpacing(r *Runner) Table {
 	}
 	t.Rows = append(t.Rows, am)
 	t.Notes = append(t.Notes, "throughput should fall monotonically with l: the solver's minimum is the whole win")
-	return t
+	return t, nil
 }
 
 // AblationSLAWeights demonstrates §5.1 service-level agreements: domain 0
 // receives twice the issue slots of its peers under FS_RP, and its service
 // scales accordingly while the schedule stays conflict-free.
-func AblationSLAWeights(r *Runner) Table {
+func AblationSLAWeights(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Ablation A2",
 		Title:   "Weighted SLA slots under FS_RP (4 domains, weights 2:1:1:1)",
@@ -56,12 +65,18 @@ func AblationSLAWeights(r *Runner) Table {
 	for _, name := range []string{"milc", "mcf", "libquantum"} {
 		mix, err := workload.Rate(name, 4)
 		if err != nil {
-			panic(err)
+			return Table{}, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.AblationSLAWeights", err)
 		}
-		equal := r.run(mix, sim.FSRankPart, nil)
-		weighted := r.run(mix, sim.FSRankPart, func(c *sim.Config) {
+		equal, err := r.run(mix, sim.FSRankPart, nil)
+		if err != nil {
+			return Table{}, err
+		}
+		weighted, err := r.run(mix, sim.FSRankPart, func(c *sim.Config) {
 			c.SLAWeights = []int{2, 1, 1, 1}
 		})
+		if err != nil {
+			return Table{}, err
+		}
 		q := 7.0 * 5 // l * total slots
 		t.Rows = append(t.Rows, Row{Label: name, Values: []float64{
 			weighted.Run.Domains[0].IPC() / equal.Run.Domains[0].IPC(),
@@ -70,12 +85,12 @@ func AblationSLAWeights(r *Runner) Table {
 		}})
 	}
 	t.Notes = append(t.Notes, "memory-bound domains with weight 2 should approach a 2x IPC ratio (note Q also grows 4->5 slots)")
-	return t
+	return t, nil
 }
 
 // AblationRefresh measures the throughput cost of folding deterministic
 // refresh windows into the FS_RP slot grid.
-func AblationRefresh(r *Runner) Table {
+func AblationRefresh(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Ablation A3",
 		Title:   "FS_RP with deterministic refresh windows",
@@ -84,20 +99,26 @@ func AblationRefresh(r *Runner) Table {
 	for _, name := range []string{"milc", "mcf", "xalancbmk"} {
 		mix, err := workload.Rate(name, 8)
 		if err != nil {
-			panic(err)
+			return Table{}, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.AblationRefresh", err)
 		}
-		off := r.weighted(mix, sim.FSRankPart, nil)
-		on := r.weighted(mix, sim.FSRankPart, func(c *sim.Config) { c.RefreshEnabled = true })
+		off, err := r.weighted(mix, sim.FSRankPart, nil)
+		if err != nil {
+			return Table{}, err
+		}
+		on, err := r.weighted(mix, sim.FSRankPart, func(c *sim.Config) { c.RefreshEnabled = true })
+		if err != nil {
+			return Table{}, err
+		}
 		t.Rows = append(t.Rows, Row{Label: name, Values: []float64{off, on, (1 - on/off) * 100}})
 	}
 	t.Notes = append(t.Notes, "tRFC/tREFI = 208/6240 bounds the refresh tax near 3-4% plus quiesce slots")
-	return t
+	return t, nil
 }
 
 // AblationConsecutive reports the §3.1 N-consecutive-transactions study
 // from the analytical solver (no simulation needed: the pipeline's peak
 // service rate is its average slot spacing).
-func AblationConsecutive(r *Runner) Table {
+func AblationConsecutive(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Ablation A4",
 		Title:   "N consecutive transactions per thread (rank partitioning)",
@@ -106,7 +127,7 @@ func AblationConsecutive(r *Runner) Table {
 	for n := 1; n <= 4; n++ {
 		plan, err := core.SolveConsecutive(n, dram.DDR3_1600())
 		if err != nil {
-			panic(err)
+			return Table{}, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.AblationConsecutive", err)
 		}
 		t.Rows = append(t.Rows, Row{
 			Label:  fmt.Sprintf("N=%d", n),
@@ -114,19 +135,40 @@ func AblationConsecutive(r *Runner) Table {
 		})
 	}
 	t.Notes = append(t.Notes, "§3.1: N>1 never beats the N=1 pipeline at the Table 1 timings (the in-block write-to-read turnaround dominates)")
-	return t
+	return t, nil
 }
 
-// Ablations runs every ablation study.
-func Ablations(r *Runner) []Table {
-	return []Table{AblationSlotSpacing(r), AblationSLAWeights(r), AblationRefresh(r), AblationConsecutive(r), AblationDDR4(r)}
+// Ablations runs every ablation study, skipping failed ones and aggregating
+// their errors like All does for the figures.
+func Ablations(r *Runner) ([]Table, error) {
+	studies := []struct {
+		id string
+		f  func() (Table, error)
+	}{
+		{"AblationSlotSpacing", func() (Table, error) { return AblationSlotSpacing(r) }},
+		{"AblationSLAWeights", func() (Table, error) { return AblationSLAWeights(r) }},
+		{"AblationRefresh", func() (Table, error) { return AblationRefresh(r) }},
+		{"AblationConsecutive", func() (Table, error) { return AblationConsecutive(r) }},
+		{"AblationDDR4", func() (Table, error) { return AblationDDR4(r) }},
+	}
+	var tables []Table
+	var errs []error
+	for _, st := range studies {
+		t, err := capture(st.id, st.f)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		tables = append(tables, t)
+	}
+	return tables, errors.Join(errs...)
 }
 
 // AblationDDR4 re-runs the design-space comparison on DDR4-2400: every
 // pipeline is re-solved from the JESD79-4 timings (the paper's Table 1
 // cites the DDR4 standard but evaluates DDR3), demonstrating that the
 // framework — not a fixed schedule — is the contribution.
-func AblationDDR4(r *Runner) Table {
+func AblationDDR4(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Ablation A5",
 		Title:   "Design space on DDR4-2400 (normalized to the DDR4 baseline)",
@@ -139,15 +181,21 @@ func AblationDDR4(r *Runner) Table {
 	for _, name := range []string{"milc", "mcf", "libquantum", "zeusmp"} {
 		mix, err := workload.Rate(name, 8)
 		if err != nil {
-			panic(err)
+			return Table{}, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.AblationDDR4", err)
 		}
-		base := r.run(mix, sim.Baseline, ddr4)
+		base, err := r.run(mix, sim.Baseline, ddr4)
+		if err != nil {
+			return Table{}, err
+		}
 		row := Row{Label: name}
 		for i, k := range schemes {
-			res := r.run(mix, k, ddr4)
+			res, err := r.run(mix, k, ddr4)
+			if err != nil {
+				return Table{}, err
+			}
 			w, err := stats.WeightedIPC(res.Run, base.Run)
 			if err != nil {
-				panic(err)
+				return Table{}, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.AblationDDR4", err)
 			}
 			row.Values = append(row.Values, w/8)
 			sums[i] += w / 8
@@ -161,5 +209,5 @@ func AblationDDR4(r *Runner) Table {
 	}
 	t.Rows = append(t.Rows, am)
 	t.Notes = append(t.Notes, "DDR4's longer (in cycles) turnarounds widen FS_RP's advantage: l stays bus-bound at 7 while l_BP grows 15->25 and l_NP 43->66")
-	return t
+	return t, nil
 }

@@ -3,7 +3,10 @@ package experiments
 import "testing"
 
 func TestAblationSlotSpacingMonotone(t *testing.T) {
-	tab := AblationSlotSpacing(smallRunner())
+	tab, err := AblationSlotSpacing(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	am := tab.Rows[len(tab.Rows)-1]
 	if !(am.Values[0] > am.Values[1] && am.Values[1] > am.Values[2]) {
 		t.Errorf("throughput not monotone in l: %v", am.Values)
@@ -12,7 +15,10 @@ func TestAblationSlotSpacingMonotone(t *testing.T) {
 }
 
 func TestAblationSLAWeights(t *testing.T) {
-	tab := AblationSLAWeights(smallRunner())
+	tab, err := AblationSLAWeights(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range tab.Rows {
 		d0, d1 := row.Values[0], row.Values[1]
 		t.Logf("%s: weighted domain %.2fx, unweighted %.2fx", row.Label, d0, d1)
@@ -32,7 +38,10 @@ func TestAblationSLAWeights(t *testing.T) {
 }
 
 func TestAblationRefreshSmallTax(t *testing.T) {
-	tab := AblationRefresh(smallRunner())
+	tab, err := AblationRefresh(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range tab.Rows {
 		slowdown := row.Values[2]
 		if slowdown < -2 || slowdown > 25 {
@@ -42,7 +51,10 @@ func TestAblationRefreshSmallTax(t *testing.T) {
 }
 
 func TestAblationConsecutiveTable(t *testing.T) {
-	tab := AblationConsecutive(smallRunner())
+	tab, err := AblationConsecutive(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

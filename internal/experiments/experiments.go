@@ -5,12 +5,14 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"fsmem/internal/core"
 	"fsmem/internal/energy"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/leakage"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
@@ -116,7 +118,7 @@ func NewRunner(s Settings) *Runner {
 	return &Runner{S: s, cache: map[runKey]sim.Result{}}
 }
 
-func (r *Runner) run(mix workload.Mix, k sim.SchedulerKind, mutate func(*sim.Config)) sim.Result {
+func (r *Runner) run(mix workload.Mix, k sim.SchedulerKind, mutate func(*sim.Config)) (sim.Result, error) {
 	cfg := sim.DefaultConfig(mix, k)
 	cfg.Seed = r.S.Seed
 	cfg.TargetReads = r.S.TargetReads
@@ -131,33 +133,41 @@ func (r *Runner) run(mix workload.Mix, k sim.SchedulerKind, mutate func(*sim.Con
 		dram:    cfg.DRAM.BankGroups,
 	}
 	if res, ok := r.cache[key]; ok {
-		return res
+		return res, nil
 	}
 	res, err := sim.Simulate(cfg)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s/%v: %v", mix.Name, k, err))
+		return sim.Result{}, fsmerr.Wrap(fsmerr.CodeExperiment,
+			fmt.Sprintf("experiments.run(%s/%v)", mix.Name, k), err)
 	}
 	r.cache[key] = res
-	return res
+	return res, nil
 }
 
 // weighted returns the sum of weighted IPCs for the scheme, normalized
 // against the non-secure baseline on the same mix (the paper's metric).
-func (r *Runner) weighted(mix workload.Mix, k sim.SchedulerKind, mutate func(*sim.Config)) float64 {
-	base := r.run(mix, sim.Baseline, nil)
-	res := r.run(mix, k, mutate)
+func (r *Runner) weighted(mix workload.Mix, k sim.SchedulerKind, mutate func(*sim.Config)) (float64, error) {
+	base, err := r.run(mix, sim.Baseline, nil)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.run(mix, k, mutate)
+	if err != nil {
+		return 0, err
+	}
 	w, err := stats.WeightedIPC(res.Run, base.Run)
 	if err != nil {
-		panic(err)
+		return 0, fsmerr.Wrap(fsmerr.CodeExperiment,
+			fmt.Sprintf("experiments.weighted(%s/%v)", mix.Name, k), err)
 	}
-	return w
+	return w, nil
 }
 
-func (r *Runner) suite() []workload.Mix { return workload.EvaluationSuite(r.S.Cores) }
+func (r *Runner) suite() ([]workload.Mix, error) { return workload.EvaluationSuite(r.S.Cores) }
 
 // Figure3 regenerates the design-space summary: arithmetic-mean normalized
 // throughput (baseline = 1.0) for the five secure design points.
-func Figure3(r *Runner) Table {
+func Figure3(r *Runner) (Table, error) {
 	t := Table{
 		ID:    "Figure 3",
 		Title: "Design-space summary: normalized throughput (baseline = 1.0)",
@@ -168,9 +178,17 @@ func Figure3(r *Runner) Table {
 	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank, sim.FSNoPartTriple, sim.TPNone}
 	sums := make([]float64, len(schemes))
 	n := 0
-	for _, mix := range r.suite() {
+	suite, err := r.suite()
+	if err != nil {
+		return Table{}, err
+	}
+	for _, mix := range suite {
 		for i, k := range schemes {
-			sums[i] += r.weighted(mix, k, nil) / float64(r.S.Cores)
+			w, err := r.weighted(mix, k, nil)
+			if err != nil {
+				return Table{}, err
+			}
+			sums[i] += w / float64(r.S.Cores)
 		}
 		n++
 	}
@@ -180,16 +198,16 @@ func Figure3(r *Runner) Table {
 	}
 	t.Rows = append(t.Rows, row)
 	t.Notes = append(t.Notes, "paper: 1.0 / 0.74 / 0.48 / 0.43 / 0.40 / 0.20")
-	return t
+	return t, nil
 }
 
 // Figure4 regenerates the execution-profile experiment: mcf against idle
 // and memory-intensive co-runners, under the baseline and FS_RP. It
 // returns the four profiles and a divergence summary table.
-func Figure4(r *Runner) (Table, []leakage.Profile) {
+func Figure4(r *Runner) (Table, []leakage.Profile, error) {
 	att, err := workload.ByName("mcf")
 	if err != nil {
-		panic(err)
+		return Table{}, nil, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.Figure4", err)
 	}
 	milestone := int64(10_000)
 	total := int64(40) * milestone
@@ -202,16 +220,16 @@ func Figure4(r *Runner) (Table, []leakage.Profile) {
 	for _, k := range []sim.SchedulerKind{sim.Baseline, sim.FSRankPart} {
 		quiet, err := leakage.CollectProfile(k, att, workload.Synthetic("idle", 0.01), r.S.Cores, milestone, total, r.S.Seed)
 		if err != nil {
-			panic(err)
+			return Table{}, nil, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.Figure4", err)
 		}
 		loud, err := leakage.CollectProfile(k, att, workload.Synthetic("streaming", 45), r.S.Cores, milestone, total, r.S.Seed)
 		if err != nil {
-			panic(err)
+			return Table{}, nil, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.Figure4", err)
 		}
 		profiles = append(profiles, quiet, loud)
 		div, err := leakage.Divergence(quiet, loud)
 		if err != nil {
-			panic(err)
+			return Table{}, nil, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.Figure4", err)
 		}
 		ident := 0.0
 		if leakage.Identical(quiet, loud) {
@@ -220,12 +238,12 @@ func Figure4(r *Runner) (Table, []leakage.Profile) {
 		t.Rows = append(t.Rows, Row{Label: k.String(), Values: []float64{div, ident}})
 	}
 	t.Notes = append(t.Notes, "paper: baseline curves diverge; FS curves overlap perfectly")
-	return t, profiles
+	return t, profiles, nil
 }
 
 // Figure5 regenerates the TP turn-length sweep: weighted IPC per workload
 // for bank-partitioned and no-partitioned TP at three turn lengths each.
-func Figure5(r *Runner) Table {
+func Figure5(r *Runner) (Table, error) {
 	bpTurns := []int64{15, 25, 39} // the paper's 60/100/156 CPU cycles
 	npTurns := []int64{43, 53, 67} // the paper's 172/212/268 CPU cycles
 
@@ -240,16 +258,26 @@ func Figure5(r *Runner) Table {
 		t.Columns = append(t.Columns, fmt.Sprintf("T_TURN_NP_%d", turn*4))
 	}
 	sums := make([]float64, 6)
-	for _, mix := range r.suite() {
+	suite, err := r.suite()
+	if err != nil {
+		return Table{}, err
+	}
+	for _, mix := range suite {
 		row := Row{Label: mix.Name}
 		for _, turn := range bpTurns {
 			turn := turn
-			w := r.weighted(mix, sim.TPBank, func(c *sim.Config) { c.TPTurnLength = turn })
+			w, err := r.weighted(mix, sim.TPBank, func(c *sim.Config) { c.TPTurnLength = turn })
+			if err != nil {
+				return Table{}, err
+			}
 			row.Values = append(row.Values, w)
 		}
 		for _, turn := range npTurns {
 			turn := turn
-			w := r.weighted(mix, sim.TPNone, func(c *sim.Config) { c.TPTurnLength = turn })
+			w, err := r.weighted(mix, sim.TPNone, func(c *sim.Config) { c.TPTurnLength = turn })
+			if err != nil {
+				return Table{}, err
+			}
 			row.Values = append(row.Values, w)
 		}
 		for i, v := range row.Values {
@@ -263,12 +291,12 @@ func Figure5(r *Runner) Table {
 	}
 	t.Rows = append(t.Rows, am)
 	t.Notes = append(t.Notes, "paper: minimum turn lengths are best on average; non-secure baseline = 8.0")
-	return t
+	return t, nil
 }
 
 // Figure6 regenerates the headline comparison: weighted IPC per workload
 // for FS_RP, FS_Reordered_BP, TP_BP, FS_NP_Optimized, TP_NP.
-func Figure6(r *Runner) Table {
+func Figure6(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Figure 6",
 		Title:   "FS vs TP: sum of weighted IPCs (8 cores)",
@@ -276,10 +304,17 @@ func Figure6(r *Runner) Table {
 	}
 	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank, sim.FSNoPartTriple, sim.TPNone}
 	sums := make([]float64, len(schemes))
-	for _, mix := range r.suite() {
+	suite, err := r.suite()
+	if err != nil {
+		return Table{}, err
+	}
+	for _, mix := range suite {
 		row := Row{Label: mix.Name}
 		for i, k := range schemes {
-			w := r.weighted(mix, k, nil)
+			w, err := r.weighted(mix, k, nil)
+			if err != nil {
+				return Table{}, err
+			}
 			row.Values = append(row.Values, w)
 			sums[i] += w
 		}
@@ -293,12 +328,12 @@ func Figure6(r *Runner) Table {
 	t.Notes = append(t.Notes,
 		"paper AM: FS_RP 69.3% above TP_BP; FS_Reordered_BP 11.3% above TP_BP; FS_NP_Optimized 2x TP_NP",
 		"paper: best FS is 27% below the non-secure baseline (baseline = 8.0 here)")
-	return t
+	return t, nil
 }
 
 // Figure6Detail reports the section 7 side statistics for the Figure 6
 // runs: average read latency, effective bus utilization, dummy fraction.
-func Figure6Detail(r *Runner) Table {
+func Figure6Detail(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Figure 6 detail",
 		Title:   "FS_RP and TP_BP derived statistics",
@@ -306,9 +341,20 @@ func Figure6Detail(r *Runner) Table {
 	}
 	var latF, utilF, dumF, latT, utilT float64
 	n := 0.0
-	for _, mix := range r.suite() {
-		f := r.run(mix, sim.FSRankPart, nil).Run
-		tp := r.run(mix, sim.TPBank, nil).Run
+	suite, err := r.suite()
+	if err != nil {
+		return Table{}, err
+	}
+	for _, mix := range suite {
+		fr, err := r.run(mix, sim.FSRankPart, nil)
+		if err != nil {
+			return Table{}, err
+		}
+		tr, err := r.run(mix, sim.TPBank, nil)
+		if err != nil {
+			return Table{}, err
+		}
+		f, tp := fr.Run, tr.Run
 		t.Rows = append(t.Rows, Row{Label: mix.Name, Values: []float64{
 			f.AvgReadLatency(), f.BusUtilization(), f.DummyFraction() * 100,
 			tp.AvgReadLatency(), tp.BusUtilization(),
@@ -322,12 +368,12 @@ func Figure6Detail(r *Runner) Table {
 	}
 	t.Rows = append(t.Rows, Row{Label: "AM", Values: []float64{latF / n, utilF / n, dumF / n, latT / n, utilT / n}})
 	t.Notes = append(t.Notes, "paper: FS_RP avg latency 288 cycles, 37% effective utilization, 36% dummies; best TP_BP latency 683 cycles, 17% utilization")
-	return t
+	return t, nil
 }
 
 // Figure7 regenerates the prefetch experiment: baseline+prefetch, FS_RP
 // with and without prefetch.
-func Figure7(r *Runner) Table {
+func Figure7(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Figure 7",
 		Title:   "Prefetching into dummy slots (8 threads, rank partitioning)",
@@ -335,11 +381,22 @@ func Figure7(r *Runner) Table {
 	}
 	pf := func(c *sim.Config) { c.Prefetch = true }
 	sums := make([]float64, 3)
-	for _, mix := range r.suite() {
+	suite, err := r.suite()
+	if err != nil {
+		return Table{}, err
+	}
+	for _, mix := range suite {
 		row := Row{Label: mix.Name}
-		row.Values = append(row.Values, r.weighted(mix, sim.Baseline, pf))
-		row.Values = append(row.Values, r.weighted(mix, sim.FSRankPart, pf))
-		row.Values = append(row.Values, r.weighted(mix, sim.FSRankPart, nil))
+		for _, job := range []struct {
+			k      sim.SchedulerKind
+			mutate func(*sim.Config)
+		}{{sim.Baseline, pf}, {sim.FSRankPart, pf}, {sim.FSRankPart, nil}} {
+			w, err := r.weighted(mix, job.k, job.mutate)
+			if err != nil {
+				return Table{}, err
+			}
+			row.Values = append(row.Values, w)
+		}
 		for i, v := range row.Values {
 			sums[i] += v
 		}
@@ -351,12 +408,12 @@ func Figure7(r *Runner) Table {
 	}
 	t.Rows = append(t.Rows, am)
 	t.Notes = append(t.Notes, "paper: prefetching improves FS_RP by 11% and the baseline by 6.3%")
-	return t
+	return t, nil
 }
 
 // Figure8 regenerates the energy comparison: memory energy per demand read
 // normalized to the baseline, for the five secure schemes.
-func Figure8(r *Runner) Table {
+func Figure8(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Figure 8",
 		Title:   "Normalized memory energy (baseline = 1.0)",
@@ -365,12 +422,22 @@ func Figure8(r *Runner) Table {
 	model := energy.NewModel(sim.DefaultConfig(workload.Mix{Name: "x"}, sim.Baseline).DRAM, energy.DDR3_4Gb())
 	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank, sim.FSNoPartTriple, sim.TPNone}
 	sums := make([]float64, len(schemes))
-	for _, mix := range r.suite() {
-		base := r.run(mix, sim.Baseline, nil)
+	suite, err := r.suite()
+	if err != nil {
+		return Table{}, err
+	}
+	for _, mix := range suite {
+		base, err := r.run(mix, sim.Baseline, nil)
+		if err != nil {
+			return Table{}, err
+		}
 		basePer := energy.PerRead(model.ForRun(base.Run, nil), base.Run)
 		row := Row{Label: mix.Name}
 		for i, k := range schemes {
-			res := r.run(mix, k, nil)
+			res, err := r.run(mix, k, nil)
+			if err != nil {
+				return Table{}, err
+			}
 			per := energy.PerRead(model.ForRun(res.Run, res.FS), res.Run)
 			row.Values = append(row.Values, per/basePer)
 			sums[i] += per / basePer
@@ -383,12 +450,12 @@ func Figure8(r *Runner) Table {
 	}
 	t.Rows = append(t.Rows, am)
 	t.Notes = append(t.Notes, "paper: FS energy 11.4% below TP, within 19% of the baseline")
-	return t
+	return t, nil
 }
 
 // Figure9 regenerates the FS energy optimizations: FS_RP plain, then
 // cumulatively suppressed dummies, row-buffer boost, and power-down.
-func Figure9(r *Runner) Table {
+func Figure9(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Figure 9",
 		Title:   "FS_RP energy optimizations (normalized to baseline = 1.0)",
@@ -402,13 +469,23 @@ func Figure9(r *Runner) Table {
 		{SuppressDummies: true, RowBufferBoost: true, PowerDown: true},
 	}
 	sums := make([]float64, len(opts))
-	for _, mix := range r.suite() {
-		base := r.run(mix, sim.Baseline, nil)
+	suite, err := r.suite()
+	if err != nil {
+		return Table{}, err
+	}
+	for _, mix := range suite {
+		base, err := r.run(mix, sim.Baseline, nil)
+		if err != nil {
+			return Table{}, err
+		}
 		basePer := energy.PerRead(model.ForRun(base.Run, nil), base.Run)
 		row := Row{Label: mix.Name}
 		for i, o := range opts {
 			o := o
-			res := r.run(mix, sim.FSRankPart, func(c *sim.Config) { c.Energy = o })
+			res, err := r.run(mix, sim.FSRankPart, func(c *sim.Config) { c.Energy = o })
+			if err != nil {
+				return Table{}, err
+			}
 			per := energy.PerRead(model.ForRun(res.Run, res.FS), res.Run)
 			row.Values = append(row.Values, per/basePer)
 			sums[i] += per / basePer
@@ -421,12 +498,12 @@ func Figure9(r *Runner) Table {
 	}
 	t.Rows = append(t.Rows, am)
 	t.Notes = append(t.Notes, "paper: the three optimizations cut FS memory energy by 52.5%, to within 3.4% of the baseline")
-	return t
+	return t, nil
 }
 
 // Figure10 regenerates the scalability study: FS_RP, FS_Reordered_BP, and
 // TP_BP at 8, 4, and 2 cores (normalized per core count).
-func Figure10(r *Runner) Table {
+func Figure10(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Figure 10",
 		Title:   "Scalability: sum of weighted IPCs at 8/4/2 cores",
@@ -436,10 +513,18 @@ func Figure10(r *Runner) Table {
 		sub := NewRunner(Settings{Cores: cores, TargetReads: r.S.TargetReads, Seed: r.S.Seed})
 		var sums [3]float64
 		n := 0.0
-		for _, mix := range sub.suite() {
-			sums[0] += sub.weighted(mix, sim.FSRankPart, nil)
-			sums[1] += sub.weighted(mix, sim.FSReorderedBank, nil)
-			sums[2] += sub.weighted(mix, sim.TPBank, nil)
+		suite, err := sub.suite()
+		if err != nil {
+			return Table{}, err
+		}
+		for _, mix := range suite {
+			for i, k := range []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank} {
+				w, err := sub.weighted(mix, k, nil)
+				if err != nil {
+					return Table{}, err
+				}
+				sums[i] += w
+			}
 			n++
 		}
 		t.Rows = append(t.Rows, Row{
@@ -448,15 +533,50 @@ func Figure10(r *Runner) Table {
 		})
 	}
 	t.Notes = append(t.Notes, "paper: FS beats TP by 85% at 4 threads and 18% at 2 threads despite the same-rank hazard")
-	return t
+	return t, nil
+}
+
+// capture runs one figure, converting a panic anywhere below it into a
+// structured experiment error so one broken figure cannot abort the whole
+// regeneration.
+func capture(id string, f func() (Table, error)) (t Table, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fsmerr.New(fsmerr.CodeExperiment, "experiments."+id, "panic: %v", p)
+		}
+	}()
+	return f()
 }
 
 // All regenerates every figure in order. Figure 4's profile series are
-// folded into its table.
-func All(r *Runner) []Table {
-	f4, _ := Figure4(r)
-	tables := []Table{Figure3(r), f4, Figure5(r), Figure6(r), Figure6Detail(r), Figure7(r), Figure8(r), Figure9(r), Figure10(r)}
-	return tables
+// folded into its table. Figures that fail are skipped and their errors
+// aggregated, so a partial regeneration still returns every healthy table.
+func All(r *Runner) ([]Table, error) {
+	figures := []struct {
+		id string
+		f  func() (Table, error)
+	}{
+		{"Figure3", func() (Table, error) { return Figure3(r) }},
+		{"Figure4", func() (Table, error) { t, _, err := Figure4(r); return t, err }},
+		{"Figure5", func() (Table, error) { return Figure5(r) }},
+		{"Figure6", func() (Table, error) { return Figure6(r) }},
+		{"Figure6Detail", func() (Table, error) { return Figure6Detail(r) }},
+		{"Figure7", func() (Table, error) { return Figure7(r) }},
+		{"Figure8", func() (Table, error) { return Figure8(r) }},
+		{"Figure9", func() (Table, error) { return Figure9(r) }},
+		{"Figure10", func() (Table, error) { return Figure10(r) }},
+	}
+	var tables []Table
+	var errs []error
+	for _, fig := range figures {
+		t, err := capture(fig.id, fig.f)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		tables = append(tables, t)
+	}
+	return tables, errors.Join(errs...)
 }
 
 // Names lists the available figure IDs.

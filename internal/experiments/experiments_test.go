@@ -13,7 +13,10 @@ func smallRunner() *Runner {
 // summarizes: baseline > FS_RP > FS_Reordered_BP > TP_BP > TP_NP, and
 // triple alternation roughly doubling TP_NP.
 func TestFigure3Shape(t *testing.T) {
-	tab := Figure3(smallRunner())
+	tab, err := Figure3(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 1 || len(tab.Rows[0].Values) != 6 {
 		t.Fatalf("Figure3 shape: %+v", tab)
 	}
@@ -37,7 +40,10 @@ func TestFigure3Shape(t *testing.T) {
 
 func TestFigure4NonInterferenceSummary(t *testing.T) {
 	r := NewRunner(Settings{Cores: 8, TargetReads: 3000, Seed: 42})
-	tab, profiles := Figure4(r)
+	tab, profiles, err := Figure4(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(profiles) != 4 {
 		t.Fatalf("want 4 profiles, got %d", len(profiles))
 	}
@@ -65,7 +71,10 @@ func TestFigure4NonInterferenceSummary(t *testing.T) {
 // the robust assertion is that the fine-grained turn is within 15% of the
 // best and clearly beats the longest turn for BP.
 func TestFigure5MinimumTurnCompetitive(t *testing.T) {
-	tab := Figure5(smallRunner())
+	tab, err := Figure5(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	am := tab.Rows[len(tab.Rows)-1]
 	if am.Label != "AM" {
 		t.Fatalf("last row %q, want AM", am.Label)
@@ -92,7 +101,10 @@ func TestFigure5MinimumTurnCompetitive(t *testing.T) {
 }
 
 func TestFigure6HeadlineRatios(t *testing.T) {
-	tab := Figure6(smallRunner())
+	tab, err := Figure6(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	am := tab.Rows[len(tab.Rows)-1]
 	fsRP, fsReord, tpBP, fsTA, tpNP := am.Values[0], am.Values[1], am.Values[2], am.Values[3], am.Values[4]
 	t.Logf("Figure 6 AM: FS_RP=%.2f FS_ReordBP=%.2f TP_BP=%.2f FS_NP_TA=%.2f TP_NP=%.2f", fsRP, fsReord, tpBP, fsTA, tpNP)
@@ -109,7 +121,10 @@ func TestFigure6HeadlineRatios(t *testing.T) {
 }
 
 func TestFigure7PrefetchHelps(t *testing.T) {
-	tab := Figure7(smallRunner())
+	tab, err := Figure7(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	am := tab.Rows[len(tab.Rows)-1]
 	basePF, fsPF, fs := am.Values[0], am.Values[1], am.Values[2]
 	t.Logf("Figure 7 AM: Baseline+PF=%.2f FS_RP+PF=%.2f FS_RP=%.2f", basePF, fsPF, fs)
@@ -122,7 +137,10 @@ func TestFigure7PrefetchHelps(t *testing.T) {
 }
 
 func TestFigure8EnergyOrdering(t *testing.T) {
-	tab := Figure8(smallRunner())
+	tab, err := Figure8(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	am := tab.Rows[len(tab.Rows)-1]
 	fsRP, tpBP, tpNP := am.Values[0], am.Values[2], am.Values[4]
 	t.Logf("Figure 8 AM: FS_RP=%.2f TP_BP=%.2f TP_NP=%.2f", fsRP, tpBP, tpNP)
@@ -138,7 +156,10 @@ func TestFigure8EnergyOrdering(t *testing.T) {
 }
 
 func TestFigure9OptimizationsMonotone(t *testing.T) {
-	tab := Figure9(smallRunner())
+	tab, err := Figure9(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	am := tab.Rows[len(tab.Rows)-1]
 	for i := 1; i < len(am.Values); i++ {
 		if am.Values[i] > am.Values[i-1]+1e-9 {
@@ -151,7 +172,10 @@ func TestFigure9OptimizationsMonotone(t *testing.T) {
 }
 
 func TestFigure10Scales(t *testing.T) {
-	tab := Figure10(smallRunner())
+	tab, err := Figure10(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 3 {
 		t.Fatalf("want 3 core counts, got %d", len(tab.Rows))
 	}

@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"sort"
+
+	"fsmem/internal/dram"
+)
+
+// Decision is the injector's verdict on one scheduler command.
+type Decision int
+
+const (
+	// Pass lets the command through unperturbed.
+	Pass Decision = iota
+	// Drop elides the command (the scheduler still believes it issued).
+	Drop
+	// Delay elides the command now and replays it at the returned cycle.
+	Delay
+	// Duplicate lets the command through and replays a copy later.
+	Duplicate
+)
+
+// TimedCommand is a command pinned to a bus cycle.
+type TimedCommand struct {
+	Cycle int64
+	Cmd   dram.Command
+}
+
+// Counts tallies what the injector actually did during a run.
+type Counts struct {
+	Drops, Delays, Duplicates int
+	Extras                    int // storm commands injected straight onto the bus
+	ReplayRejects             int // replayed/extra commands the device refused
+}
+
+// Injector sits between the memory controller and the channel, perturbing
+// the command stream per a Plan. It is deterministic: decisions depend only
+// on the plan and the command stream itself.
+type Injector struct {
+	faults  []CommandFault
+	fired   []bool
+	replays []TimedCommand // pending delayed/duplicated commands, sorted
+	extras  []TimedCommand // plan-scheduled injections (refresh storms), sorted
+
+	// faulted marks domains whose own command a fault directly perturbed;
+	// the non-interference verdict treats them like load-fault targets.
+	faulted map[int]bool
+
+	Stats Counts
+}
+
+// NewInjector compiles a plan's command-layer faults. Refresh-storm load
+// faults are expanded here into extra REF commands because they bypass the
+// scheduler entirely; jitter and queue spikes are applied by the simulator.
+func NewInjector(plan *Plan, p dram.Params) *Injector {
+	in := &Injector{
+		faults:  append([]CommandFault(nil), plan.Commands...),
+		fired:   make([]bool, len(plan.Commands)),
+		faulted: map[int]bool{},
+	}
+	for _, l := range plan.Loads {
+		if l.Kind != LoadRefreshStorm {
+			continue
+		}
+		for i := 0; i < l.Count; i++ {
+			in.extras = append(in.extras, TimedCommand{
+				Cycle: l.AtCycle + int64(i)*int64(p.TRFC+p.TRP),
+				Cmd:   dram.Command{Kind: dram.KindRefresh, Rank: l.Rank, Domain: dram.NoDomain},
+			})
+		}
+	}
+	sort.Slice(in.extras, func(i, j int) bool { return in.extras[i].Cycle < in.extras[j].Cycle })
+	return in
+}
+
+// Active reports whether the injector can still perturb anything.
+func (in *Injector) Active() bool {
+	if len(in.replays) > 0 || len(in.extras) > 0 {
+		return true
+	}
+	for i := range in.faults {
+		if !in.fired[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide classifies one scheduler command about to issue at cycle. For
+// Delay and Duplicate the second return value is the replay cycle.
+func (in *Injector) Decide(cmd dram.Command, cycle int64) (Decision, int64) {
+	for i, f := range in.faults {
+		if in.fired[i] || cycle < f.AtCycle || !f.matches(cmd.Kind) {
+			continue
+		}
+		in.fired[i] = true
+		if cmd.Domain != dram.NoDomain {
+			in.faulted[cmd.Domain] = true
+		}
+		d := f.Delay
+		if d < 1 {
+			d = 1
+		}
+		switch f.Action {
+		case ActionDrop:
+			in.Stats.Drops++
+			return Drop, 0
+		case ActionDelay:
+			in.Stats.Delays++
+			return Delay, cycle + d
+		case ActionDuplicate:
+			in.Stats.Duplicates++
+			return Duplicate, cycle + d
+		}
+	}
+	return Pass, 0
+}
+
+// FaultedDomains returns, sorted, the domains whose own command a fired
+// fault directly perturbed. Their traces legitimately change; silent
+// divergence in any *other* domain is cross-domain leakage.
+func (in *Injector) FaultedDomains() []int {
+	out := make([]int, 0, len(in.faulted))
+	for d := range in.faulted {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AddReplay queues a command for re-injection at the given cycle.
+func (in *Injector) AddReplay(cmd dram.Command, cycle int64) {
+	in.replays = append(in.replays, TimedCommand{Cycle: cycle, Cmd: cmd})
+	sort.Slice(in.replays, func(i, j int) bool { return in.replays[i].Cycle < in.replays[j].Cycle })
+}
+
+// Due pops every replay and extra command scheduled at or before cycle.
+func (in *Injector) Due(cycle int64) []TimedCommand {
+	var due []TimedCommand
+	for len(in.replays) > 0 && in.replays[0].Cycle <= cycle {
+		due = append(due, in.replays[0])
+		in.replays = in.replays[1:]
+	}
+	for len(in.extras) > 0 && in.extras[0].Cycle <= cycle {
+		due = append(due, in.extras[0])
+		in.extras = in.extras[1:]
+		in.Stats.Extras++
+	}
+	return due
+}

@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"fsmem/internal/trace"
+)
+
+// jitterSeedSalt decorrelates the jitter RNG from every simulation RNG so a
+// fault plan never perturbs unrelated random draws.
+const jitterSeedSalt = 0x6a69747465727331
+
+type jitterStream struct {
+	inner trace.Stream
+	rng   *trace.RNG
+	mag   int
+}
+
+// JitterStream wraps one domain's reference stream, inflating every
+// instruction gap by a seeded geometric draw with the given mean. The
+// wrapped stream's own draws are untouched, so the jittered domain replays
+// the same addresses on a shifted arrival process.
+func JitterStream(inner trace.Stream, seed uint64, magnitude int) trace.Stream {
+	if magnitude <= 0 {
+		return inner
+	}
+	return &jitterStream{
+		inner: inner,
+		rng:   trace.NewRNG(seed ^ jitterSeedSalt),
+		mag:   magnitude,
+	}
+}
+
+func (j *jitterStream) Next() trace.Ref {
+	r := j.inner.Next()
+	r.Gap += j.rng.Geometric(float64(j.mag))
+	return r
+}
+
+// StreamFor applies the plan's jitter faults to one domain's stream,
+// returning the stream unchanged when the plan does not target the domain.
+func (p *Plan) StreamFor(domain int, inner trace.Stream) trace.Stream {
+	if p == nil {
+		return inner
+	}
+	for _, l := range p.Loads {
+		if l.Kind == LoadJitter && l.Domain == domain {
+			inner = JitterStream(inner, p.Seed+uint64(domain), l.Magnitude)
+		}
+	}
+	return inner
+}
+
+// Spikes returns the plan's queue-spike faults (the simulator turns each
+// into a burst of extra demand reads at AtCycle).
+func (p *Plan) Spikes() []LoadFault {
+	if p == nil {
+		return nil
+	}
+	var out []LoadFault
+	for _, l := range p.Loads {
+		if l.Kind == LoadQueueSpike {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package fault is the deterministic fault-injection and runtime-
+// verification subsystem. It perturbs a simulation at three layers —
+// DRAM timing derating (marginal hardware), command-stream faults (a
+// scheduled command dropped, delayed, or duplicated between the controller
+// and the device), and load faults (arrival jitter, queue-pressure spikes,
+// refresh storms) — and shadows every run with an always-on monitor that
+// re-validates the observed command stream against an independent checker
+// and, for Fixed Service schedulers, against the static schedule itself.
+//
+// The design goal mirrors the operational-verification argument of "Can We
+// Prove Time Protection?": the FS pipelines are *statically* conflict-free,
+// but a deployed controller must also *detect* when the proof's premises
+// stop holding. A fault campaign (see internal/sim.RunCampaign and
+// cmd/chaos) asserts that under every injected fault an FS scheduler either
+// raises a monitor violation or provably leaves per-domain command timing
+// unchanged — while the non-secure baseline visibly fails the same test.
+//
+// Everything is seeded and replayable: the same Plan against the same
+// Config yields byte-identical results.
+package fault
+
+import (
+	"fmt"
+
+	"fsmem/internal/dram"
+)
+
+// Action is what a command fault does to the matched command.
+type Action int
+
+const (
+	// ActionDrop removes the command between controller and device: the
+	// scheduler believes it issued, the DRAM never sees it.
+	ActionDrop Action = iota
+	// ActionDelay removes the command and replays it Delay cycles later.
+	ActionDelay
+	// ActionDuplicate lets the command through and replays a copy Delay
+	// cycles later.
+	ActionDuplicate
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionDrop:
+		return "drop"
+	case ActionDelay:
+		return "delay"
+	case ActionDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// CommandFault perturbs the first scheduler command matching Kinds that is
+// issued at or after AtCycle. Each fault fires exactly once.
+type CommandFault struct {
+	AtCycle int64
+	Kinds   []dram.Kind // empty = match any command
+	Action  Action
+	Delay   int64 // replay offset for ActionDelay/ActionDuplicate (min 1)
+}
+
+func (f CommandFault) matches(k dram.Kind) bool {
+	if len(f.Kinds) == 0 {
+		return true
+	}
+	for _, want := range f.Kinds {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Derate re-exports the DRAM timing margin type so fault plans can be
+// authored without importing internal/dram.
+type Derate = dram.Derate
+
+// RankDerate lengthens one rank's effective timing constraints (Rank -1 =
+// every rank). Derates are applied to the monitor's shadow checker — the
+// "true hardware" view — while the scheduler keeps planning with nominal
+// parameters, modeling a part whose datasheet the controller no longer
+// matches.
+type RankDerate struct {
+	Rank   int
+	Derate dram.Derate
+}
+
+// LoadKind selects a load-fault flavor.
+type LoadKind int
+
+const (
+	// LoadJitter inflates the instruction gaps of one domain's reference
+	// stream by a seeded random amount, shifting its arrival process.
+	LoadJitter LoadKind = iota
+	// LoadQueueSpike enqueues a burst of extra demand reads for one domain
+	// at AtCycle, modeling a sudden queue-pressure spike.
+	LoadQueueSpike
+	// LoadRefreshStorm injects Count extra REF commands to Rank, spaced
+	// tRFC apart starting at AtCycle, bypassing the scheduler entirely.
+	LoadRefreshStorm
+)
+
+// String names the load kind.
+func (k LoadKind) String() string {
+	switch k {
+	case LoadJitter:
+		return "jitter"
+	case LoadQueueSpike:
+		return "queue-spike"
+	case LoadRefreshStorm:
+		return "refresh-storm"
+	default:
+		return fmt.Sprintf("LoadKind(%d)", int(k))
+	}
+}
+
+// LoadFault perturbs the offered load rather than the schedule.
+type LoadFault struct {
+	Kind    LoadKind
+	Domain  int   // jitter/spike target domain
+	Rank    int   // refresh-storm target rank
+	AtCycle int64 // spike/storm start cycle
+	Count   int   // spike: extra requests; storm: extra REFs
+	// Magnitude scales jitter: the mean extra instruction gap per reference.
+	Magnitude int
+}
+
+// Plan is one deterministic fault scenario. The zero plan injects nothing;
+// running it must reproduce the unfaulted simulation exactly.
+type Plan struct {
+	Name string
+	// Seed drives every random draw the plan's faults make (spike
+	// addresses, jitter gaps), independent of the simulation seed.
+	Seed     uint64
+	Derates  []RankDerate
+	Commands []CommandFault
+	Loads    []LoadFault
+}
+
+// TargetDomains returns the set of domains whose *own* traffic the plan
+// intentionally perturbs. The non-interference verdict excludes them: a
+// jittered domain's command trace legitimately changes, every other
+// domain's must not.
+func (p *Plan) TargetDomains() map[int]bool {
+	t := map[int]bool{}
+	for _, l := range p.Loads {
+		if l.Kind == LoadJitter || l.Kind == LoadQueueSpike {
+			t[l.Domain] = true
+		}
+	}
+	return t
+}
+
+// CampaignPlans returns the standard deterministic fault campaign for a
+// configuration: one plan per fault class, covering all three layers. The
+// same (domains, seed) pair always yields the same plans.
+func CampaignPlans(domains int, seed uint64) []*Plan {
+	at := int64(2000) // mid-run, well past warm-up, well before typical end
+	cas := []dram.Kind{dram.KindRead, dram.KindReadAP, dram.KindWrite, dram.KindWriteAP}
+	jitterDom, spikeDom := 1%domains, 1%domains
+	return []*Plan{
+		{
+			Name: "derate-trcd", Seed: seed,
+			Derates: []RankDerate{{Rank: 0, Derate: dram.Derate{TRCD: 2}}},
+		},
+		{
+			Name: "derate-tfaw-slack", Seed: seed,
+			Derates: []RankDerate{{Rank: -1, Derate: dram.Derate{TFAW: 2}}},
+		},
+		{
+			Name: "derate-twr", Seed: seed,
+			Derates: []RankDerate{{Rank: 0, Derate: dram.Derate{TWR: 3}}},
+		},
+		{
+			Name: "drop-act", Seed: seed,
+			Commands: []CommandFault{{AtCycle: at, Kinds: []dram.Kind{dram.KindActivate}, Action: ActionDrop}},
+		},
+		{
+			Name: "drop-cas", Seed: seed,
+			Commands: []CommandFault{{AtCycle: at, Kinds: cas, Action: ActionDrop}},
+		},
+		{
+			Name: "delay-cas-2", Seed: seed,
+			Commands: []CommandFault{{AtCycle: at, Kinds: cas, Action: ActionDelay, Delay: 2}},
+		},
+		{
+			Name: "dup-act", Seed: seed,
+			Commands: []CommandFault{{AtCycle: at, Kinds: []dram.Kind{dram.KindActivate}, Action: ActionDuplicate, Delay: 1}},
+		},
+		{
+			Name: "jitter-dom1", Seed: seed,
+			Loads: []LoadFault{{Kind: LoadJitter, Domain: jitterDom, Magnitude: 300}},
+		},
+		{
+			Name: "spike-dom1", Seed: seed,
+			Loads: []LoadFault{{Kind: LoadQueueSpike, Domain: spikeDom, AtCycle: at, Count: 24}},
+		},
+		{
+			Name: "refresh-storm", Seed: seed,
+			Loads: []LoadFault{{Kind: LoadRefreshStorm, Rank: 0, AtCycle: at, Count: 2}},
+		},
+	}
+}

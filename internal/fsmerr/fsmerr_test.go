@@ -1,0 +1,63 @@
+package fsmerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fsmem/internal/dram"
+)
+
+func TestWrapPreservesInnerCodes(t *testing.T) {
+	inner := New(CodeTiming, "dram.Issue", "tRCD violated")
+	outer := Wrap(CodeExperiment, "experiments.run", fmt.Errorf("figure 6: %w", inner))
+	if got := CodeOf(outer); got != CodeTiming {
+		t.Errorf("outer wrap clobbered the inner code: got %q, want %q", got, CodeTiming)
+	}
+
+	plain := Wrap(CodeConfig, "sim.New", errors.New("bad params"))
+	if got := CodeOf(plain); got != CodeConfig {
+		t.Errorf("plain error not coded: got %q, want %q", got, CodeConfig)
+	}
+	if Wrap(CodeConfig, "sim.New", nil) != nil {
+		t.Error("Wrap(nil) must stay nil")
+	}
+}
+
+func TestCodeOfForeignError(t *testing.T) {
+	if got := CodeOf(errors.New("foreign")); got != "" {
+		t.Errorf("CodeOf(foreign) = %q, want empty", got)
+	}
+	if got := CodeOf(nil); got != "" {
+		t.Errorf("CodeOf(nil) = %q, want empty", got)
+	}
+}
+
+func TestAtPinsCycleAndCommand(t *testing.T) {
+	cmd := dram.Command{Kind: dram.KindActivate, Rank: 1, Bank: 3, Row: 9}
+	e := At(CodeSchedule, "fault.monitor", 1234, cmd, errors.New("off schedule"))
+	if e.Cycle != 1234 || e.Cmd == nil || *e.Cmd != cmd {
+		t.Fatalf("At did not pin cycle/command: %+v", e)
+	}
+	// At copies the command, so the caller's value cannot be aliased.
+	cmd.Row = 0
+	if e.Cmd.Row != 9 {
+		t.Error("At aliased the caller's command value")
+	}
+	msg := e.Error()
+	for _, want := range []string{"fault.monitor", "schedule", "cycle 1234", "off schedule"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestErrorsJoinSurvivesCodeExtraction(t *testing.T) {
+	// RunFigures aggregates with errors.Join; errors.As must still find the
+	// first structured error inside the joined tree.
+	joined := errors.Join(New(CodeExperiment, "experiments.Figure6", "boom"), errors.New("other"))
+	if got := CodeOf(joined); got != CodeExperiment {
+		t.Errorf("CodeOf(joined) = %q, want %q", got, CodeExperiment)
+	}
+}

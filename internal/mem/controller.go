@@ -8,9 +8,10 @@ package mem
 
 import (
 	"container/heap"
-	"fmt"
 
 	"fsmem/internal/dram"
+	"fsmem/internal/fault"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/prefetch"
 	"fsmem/internal/stats"
 )
@@ -91,6 +92,9 @@ type Controller struct {
 
 	sched       Scheduler
 	completions completionHeap
+
+	mon *fault.Monitor  // always-on runtime verifier (nil in bare tests)
+	inj *fault.Injector // command-stream fault injector (nil when unfaulted)
 
 	// Prefetch support (nil when disabled).
 	Prefetchers []*prefetch.Sandbox
@@ -185,15 +189,67 @@ func (c *Controller) NextPrefetch(domain int) (dram.Address, bool) {
 	return c.Prefetchers[domain].NextCandidate()
 }
 
+// AttachMonitor installs the runtime verification monitor. Every command
+// that reaches the bus afterwards is shadowed through it.
+func (c *Controller) AttachMonitor(m *fault.Monitor) { c.mon = m }
+
+// Monitor returns the attached runtime monitor, or nil.
+func (c *Controller) Monitor() *fault.Monitor { return c.mon }
+
+// AttachInjector installs a command-stream fault injector between the
+// scheduler and the channel.
+func (c *Controller) AttachInjector(in *fault.Injector) { c.inj = in }
+
+// ReportViolation forwards a scheduler-detected violation (a planned
+// command the live channel refused) to the runtime monitor, if attached.
+func (c *Controller) ReportViolation(err error) {
+	if c.mon != nil {
+		c.mon.SchedulerViolation(err)
+	}
+}
+
 // Issue places a command on the channel at the current cycle.
 func (c *Controller) Issue(cmd dram.Command) error {
-	return c.Chan.Issue(cmd, c.Cycle)
+	return c.issue(cmd, false)
 }
 
 // IssueSuppressed places a command whose timing footprint is modeled but
 // whose DRAM operation is elided (FS energy optimizations).
 func (c *Controller) IssueSuppressed(cmd dram.Command) error {
-	return c.Chan.IssueEx(cmd, c.Cycle, true)
+	return c.issue(cmd, true)
+}
+
+func (c *Controller) issue(cmd dram.Command, suppressed bool) error {
+	if c.mon == nil && c.inj == nil {
+		return c.Chan.IssueEx(cmd, c.Cycle, suppressed)
+	}
+	// FR-FCFS-style schedulers probe with Issue and treat an error as
+	// back-off, so only a command that would legally issue counts as
+	// scheduler intent or is eligible for perturbation.
+	if err := c.Chan.CanIssue(cmd, c.Cycle); err != nil {
+		return err
+	}
+	if c.mon != nil {
+		c.mon.Intended(cmd, c.Cycle)
+	}
+	if c.inj != nil {
+		switch d, replay := c.inj.Decide(cmd, c.Cycle); d {
+		case fault.Drop:
+			return nil // the scheduler believes it issued
+		case fault.Delay:
+			c.inj.AddReplay(cmd, replay)
+			return nil
+		case fault.Duplicate:
+			c.inj.AddReplay(cmd, replay)
+		}
+	}
+	if err := c.Chan.IssueEx(cmd, c.Cycle, suppressed); err != nil {
+		return err
+	}
+	if c.mon != nil {
+		c.mon.Applied(cmd, c.Cycle, suppressed)
+	}
+	return nil
 }
 
 // CompleteAt schedules the request's completion bookkeeping (and its core
@@ -218,11 +274,25 @@ func (c *Controller) RecordFirstCommand(req *Request) {
 }
 
 // Tick advances the controller by one bus cycle: deliver due completions,
-// then let the policy issue.
+// pump any injected command replays onto the bus, then let the policy
+// issue.
 func (c *Controller) Tick() {
 	for len(c.completions) > 0 && c.completions[0].cycle <= c.Cycle {
 		comp := heap.Pop(&c.completions).(completion)
 		c.finish(comp.req)
+	}
+	if c.inj != nil {
+		for _, tc := range c.inj.Due(c.Cycle) {
+			if err := c.Chan.Issue(tc.Cmd, c.Cycle); err != nil {
+				// The model cannot apply an illegal command; the original's
+				// disappearance is still caught by the schedule check.
+				c.inj.Stats.ReplayRejects++
+				continue
+			}
+			if c.mon != nil {
+				c.mon.Applied(tc.Cmd, c.Cycle, false)
+			}
+		}
 	}
 	c.sched.Tick(c)
 	c.Cycle++
@@ -257,6 +327,9 @@ func (c *Controller) finish(req *Request) {
 		d.ReadLatencySum += c.Cycle - req.Arrive
 		d.ReadLatencyCount++
 		c.LatHist[req.Domain].Observe(c.Cycle - req.Arrive)
+		if c.mon != nil {
+			c.mon.ReadCompleted(req.Domain, c.Cycle)
+		}
 		if req.done != nil {
 			req.done()
 		}
@@ -283,25 +356,34 @@ func (c *Controller) PopWrite(domain int) *Request {
 	return q[0]
 }
 
-// RemoveRead deletes the request from its domain's read queue.
-func (c *Controller) RemoveRead(req *Request) {
-	c.removeFrom(c.ReadQ, req)
+// RemoveRead deletes the request from its domain's read queue, returning a
+// CodeQueue error if it is not there.
+func (c *Controller) RemoveRead(req *Request) error {
+	return c.removeFrom(c.ReadQ, req, "mem.RemoveRead")
 }
 
-// RemoveWrite deletes the request from its domain's write queue.
-func (c *Controller) RemoveWrite(req *Request) {
-	c.removeFrom(c.WriteQ, req)
+// RemoveWrite deletes the request from its domain's write queue, returning
+// a CodeQueue error if it is not there.
+func (c *Controller) RemoveWrite(req *Request) error {
+	return c.removeFrom(c.WriteQ, req, "mem.RemoveWrite")
 }
 
-func (c *Controller) removeFrom(qs [][]*Request, req *Request) {
+func (c *Controller) removeFrom(qs [][]*Request, req *Request, op string) error {
+	if req.Domain < 0 || req.Domain >= len(qs) {
+		e := fsmerr.New(fsmerr.CodeQueue, op, "domain %d out of range [0,%d)", req.Domain, len(qs))
+		e.Cycle = c.Cycle
+		return e
+	}
 	q := qs[req.Domain]
 	for i, r := range q {
 		if r == req {
 			qs[req.Domain] = append(q[:i:i], q[i+1:]...)
-			return
+			return nil
 		}
 	}
-	panic(fmt.Sprintf("mem: request %+v not in queue", req))
+	e := fsmerr.New(fsmerr.CodeQueue, op, "request dom=%d addr=%s not in queue", req.Domain, req.Addr)
+	e.Cycle = c.Cycle
+	return e
 }
 
 // PendingReads returns the total queued demand reads across domains.

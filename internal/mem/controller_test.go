@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fsmem/internal/dram"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/prefetch"
 )
 
@@ -95,7 +96,9 @@ func TestPopAndRemove(t *testing.T) {
 		t.Fatalf("PopRead = %+v", r)
 	}
 	r2 := c.ReadQ[0][0]
-	c.RemoveRead(r2)
+	if err := c.RemoveRead(r2); err != nil {
+		t.Fatalf("RemoveRead: %v", err)
+	}
 	if c.PendingReads() != 0 {
 		t.Fatal("remove failed")
 	}
@@ -111,12 +114,16 @@ func TestPopAndRemove(t *testing.T) {
 		t.Fatal("pop from empty write queue should be nil")
 	}
 
-	defer func() {
-		if recover() == nil {
-			t.Error("removing a foreign request should panic")
-		}
-	}()
-	c.RemoveRead(&Request{Domain: 0})
+	if err := c.RemoveRead(&Request{Domain: 0}); err == nil {
+		t.Error("removing a foreign request should return an error")
+	} else if fsmerr.CodeOf(err) != fsmerr.CodeQueue {
+		t.Errorf("foreign remove: code = %q, want %q", fsmerr.CodeOf(err), fsmerr.CodeQueue)
+	}
+	if err := c.RemoveWrite(&Request{Domain: 99}); err == nil {
+		t.Error("removing with an out-of-range domain should return an error")
+	} else if fsmerr.CodeOf(err) != fsmerr.CodeQueue {
+		t.Errorf("out-of-range remove: code = %q, want %q", fsmerr.CodeOf(err), fsmerr.CodeQueue)
+	}
 }
 
 func TestRecordFirstCommandQueueDelay(t *testing.T) {

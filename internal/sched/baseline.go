@@ -93,7 +93,7 @@ func (b *Baseline) serve(c *mem.Controller, writes bool) bool {
 	// 2. Activates for closed banks, oldest first.
 	for _, r := range reqs {
 		if c.Chan.OpenRow(r.Addr.Rank, r.Addr.Bank) == dram.ClosedRow {
-			cmd := dram.Command{Kind: dram.KindActivate, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Row: r.Addr.Row}
+			cmd := dram.Command{Kind: dram.KindActivate, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Row: r.Addr.Row, Domain: r.Domain}
 			if c.Issue(cmd) == nil {
 				c.RecordFirstCommand(r)
 				r.Acted = true
@@ -110,7 +110,7 @@ func (b *Baseline) serve(c *mem.Controller, writes bool) bool {
 		if b.anyWantsRow(c, r.Addr.Rank, r.Addr.Bank, open) {
 			continue
 		}
-		cmd := dram.Command{Kind: dram.KindPrecharge, Rank: r.Addr.Rank, Bank: r.Addr.Bank}
+		cmd := dram.Command{Kind: dram.KindPrecharge, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Domain: r.Domain}
 		if c.Issue(cmd) == nil {
 			return true
 		}
@@ -157,7 +157,7 @@ func (b *Baseline) issueCAS(c *mem.Controller, r *mem.Request, write bool) bool 
 		kind = dram.KindWrite
 		dataStart = b.p.WriteDataStart()
 	}
-	cmd := dram.Command{Kind: kind, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Col: r.Addr.Col}
+	cmd := dram.Command{Kind: kind, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Col: r.Addr.Col, Domain: r.Domain}
 	if c.Issue(cmd) != nil {
 		return false
 	}
@@ -166,10 +166,14 @@ func (b *Baseline) issueCAS(c *mem.Controller, r *mem.Request, write bool) bool 
 		c.Dom[r.Domain].RowHits++
 	}
 	r.DataEnd = c.Cycle + int64(dataStart) + int64(b.p.TBURST)
+	var err error
 	if write {
-		c.RemoveWrite(r)
+		err = c.RemoveWrite(r)
 	} else {
-		c.RemoveRead(r)
+		err = c.RemoveRead(r)
+	}
+	if err != nil {
+		c.ReportViolation(err)
 	}
 	c.CompleteAt(r, r.DataEnd)
 	return true
@@ -185,14 +189,14 @@ func (b *Baseline) tickRefresh(c *mem.Controller) bool {
 		// Close any open bank first.
 		for bank := 0; bank < b.p.BanksPerRank; bank++ {
 			if c.Chan.OpenRow(rank, bank) != dram.ClosedRow {
-				cmd := dram.Command{Kind: dram.KindPrecharge, Rank: rank, Bank: bank}
+				cmd := dram.Command{Kind: dram.KindPrecharge, Rank: rank, Bank: bank, Domain: dram.NoDomain}
 				if c.Issue(cmd) == nil {
 					return true
 				}
 				return false // blocked this cycle; retry next
 			}
 		}
-		cmd := dram.Command{Kind: dram.KindRefresh, Rank: rank}
+		cmd := dram.Command{Kind: dram.KindRefresh, Rank: rank, Domain: dram.NoDomain}
 		if c.Issue(cmd) == nil {
 			b.refreshDeadline[rank] += int64(b.p.TREFI)
 			return true

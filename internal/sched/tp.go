@@ -143,17 +143,21 @@ func (t *TP) Tick(c *mem.Controller) {
 	if req == nil {
 		return
 	}
-	cmd := dram.Command{Kind: dram.KindActivate, Rank: req.Addr.Rank, Bank: req.Addr.Bank, Row: req.Addr.Row}
+	cmd := dram.Command{Kind: dram.KindActivate, Rank: req.Addr.Rank, Bank: req.Addr.Bank, Row: req.Addr.Row, Domain: req.Domain}
 	if c.Issue(cmd) != nil {
 		return
 	}
 	c.RecordFirstCommand(req)
 	req.Acted = true
 	t.lastAct, t.lastActTurn = c.Cycle, turn
+	var err error
 	if req.Write {
-		c.RemoveWrite(req)
+		err = c.RemoveWrite(req)
 	} else {
-		c.RemoveRead(req)
+		err = c.RemoveRead(req)
+	}
+	if err != nil {
+		c.ReportViolation(err)
 	}
 	t.started = append(t.started, &inflight{req: req})
 }
@@ -193,7 +197,7 @@ func (t *TP) issueCAS(c *mem.Controller, req *mem.Request) bool {
 		kind = dram.KindWriteAP
 		dataStart = t.p.WriteDataStart()
 	}
-	cmd := dram.Command{Kind: kind, Rank: req.Addr.Rank, Bank: req.Addr.Bank, Col: req.Addr.Col}
+	cmd := dram.Command{Kind: kind, Rank: req.Addr.Rank, Bank: req.Addr.Bank, Col: req.Addr.Col, Domain: req.Domain}
 	if c.Issue(cmd) != nil {
 		return false
 	}

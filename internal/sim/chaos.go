@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fsmem/internal/fault"
+	"fsmem/internal/fsmerr"
+)
+
+// FaultVerdict classifies what one fault plan did to one scheduler.
+type FaultVerdict string
+
+const (
+	// VerdictDetected: the runtime monitor flagged the fault (timing,
+	// schedule, or scheduler-reported violation).
+	VerdictDetected FaultVerdict = "detected"
+	// VerdictHarmless: the monitor stayed clean AND every non-target
+	// domain's command trace is identical to the unfaulted reference run —
+	// the fault provably did not move any victim's memory timing.
+	VerdictHarmless FaultVerdict = "harmless"
+	// VerdictUndetected: the monitor stayed clean but some non-target
+	// domain's command trace silently diverged — exactly the timing leak
+	// the paper's fixed service policies exist to close.
+	VerdictUndetected FaultVerdict = "undetected"
+)
+
+// FaultOutcome is the campaign verdict for one plan.
+type FaultOutcome struct {
+	Plan    string
+	Verdict FaultVerdict
+
+	TimingViolations    int
+	ScheduleViolations  int
+	SchedulerViolations int
+	Injected            fault.Counts
+
+	// ChangedDomains lists non-target domains whose read-delivery trace —
+	// the core-observable timing — diverged from the reference run. A
+	// non-empty list without a monitor flag is a silent leak.
+	ChangedDomains []int
+	// ChangedBusDomains lists non-target domains whose command-bus trace
+	// diverged. Diagnostic: expected under reordered bank partitioning
+	// (slot order follows the global read/write mix) and FR-FCFS even when
+	// the delivery trace is intact.
+	ChangedBusDomains []int
+}
+
+// CampaignResult is a full fault campaign against one scheduler.
+type CampaignResult struct {
+	Scheduler string
+	Cycles    int64 // fixed run length shared by every run
+	Outcomes  []FaultOutcome
+}
+
+// Undetected counts silent non-interference failures across the campaign.
+// Zero for a sound detection story; expectedly positive for the non-secure
+// baseline.
+func (c *CampaignResult) Undetected() int {
+	n := 0
+	for _, o := range c.Outcomes {
+		if o.Verdict == VerdictUndetected {
+			n++
+		}
+	}
+	return n
+}
+
+// CampaignCycles is the default fixed run length for campaign runs: long
+// enough that every standard plan fires and its consequences unfold, short
+// enough to run the whole matrix in seconds.
+const CampaignCycles = 24_000
+
+// SimulateChaos is Simulate under a fault plan: the plan's faults are
+// injected and the always-on monitor reports what they did in
+// Result.Monitor.
+func SimulateChaos(cfg Config, plan *fault.Plan) (Result, error) {
+	cfg.Fault = plan
+	return Simulate(cfg)
+}
+
+// RunCampaign executes every plan against the configuration plus one
+// unfaulted reference run, all with the same fixed duration, and classifies
+// each fault as detected, harmless, or undetected. The caller's
+// TargetReads/MaxBusCycles are overridden: verdicts need cycle-aligned
+// runs to compare per-domain command traces.
+func RunCampaign(cfg Config, plans []*fault.Plan) (*CampaignResult, error) {
+	// A caller that explicitly prepared a fixed-duration config
+	// (TargetReads == 0 with a cycle bound) keeps its run length; any
+	// read-target config is converted to the standard campaign duration.
+	if cfg.TargetReads != 0 || cfg.MaxBusCycles == 0 {
+		cfg.MaxBusCycles = CampaignCycles
+	}
+	cfg.TargetReads = 0
+
+	cfg.Fault = nil
+	ref, err := Simulate(cfg)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeFault, "sim.RunCampaign", err)
+	}
+	if ref.Monitor.Detected() {
+		return nil, fsmerr.New(fsmerr.CodeFault, "sim.RunCampaign",
+			"reference run of %s is not clean: %d timing, %d schedule, %d scheduler violations",
+			cfg.Scheduler, ref.Monitor.TimingViolations, ref.Monitor.ScheduleViolations,
+			ref.Monitor.SchedulerViolations)
+	}
+
+	out := &CampaignResult{Scheduler: cfg.Scheduler.String(), Cycles: cfg.MaxBusCycles}
+	for _, plan := range plans {
+		res, err := SimulateChaos(cfg, plan)
+		if err != nil {
+			return nil, fsmerr.Wrap(fsmerr.CodeFault, "sim.RunCampaign("+plan.Name+")", err)
+		}
+		rep := res.Monitor
+		o := FaultOutcome{
+			Plan:                plan.Name,
+			TimingViolations:    rep.TimingViolations,
+			ScheduleViolations:  rep.ScheduleViolations,
+			SchedulerViolations: rep.SchedulerViolations,
+			Injected:            rep.Injected,
+		}
+		// Exclude intentionally perturbed domains from the leak verdict:
+		// load-fault targets and the direct victims of command faults. Their
+		// own timing legitimately changes; the non-interference question is
+		// whether anyone *else*'s does.
+		targets := plan.TargetDomains()
+		for _, d := range rep.FaultedDomains {
+			targets[d] = true
+		}
+		for d := range rep.DomainTraces {
+			if targets[d] {
+				continue
+			}
+			if rep.DomainTraces[d] != ref.Monitor.DomainTraces[d] {
+				o.ChangedDomains = append(o.ChangedDomains, d)
+			}
+			if rep.DomainBusTraces[d] != ref.Monitor.DomainBusTraces[d] {
+				o.ChangedBusDomains = append(o.ChangedBusDomains, d)
+			}
+		}
+		switch {
+		case rep.Detected():
+			o.Verdict = VerdictDetected
+		case len(o.ChangedDomains) == 0:
+			o.Verdict = VerdictHarmless
+		default:
+			o.Verdict = VerdictUndetected
+		}
+		out.Outcomes = append(out.Outcomes, o)
+	}
+	return out, nil
+}

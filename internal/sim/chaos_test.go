@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"fsmem/internal/fault"
+	"fsmem/internal/workload"
+)
+
+func campaignConfig(t *testing.T, k SchedulerKind) Config {
+	t.Helper()
+	mix, err := workload.Rate("milc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DefaultConfig(mix, k)
+}
+
+// TestCampaignFSDetectsOrHarmless is the tentpole assertion: under every
+// standard fault plan, every Fixed Service variant either detects the
+// fault or provably leaves all victim domains' command timing unchanged.
+// Zero undetected timing violations.
+func TestCampaignFSDetectsOrHarmless(t *testing.T) {
+	for _, k := range []SchedulerKind{FSRankPart, FSBankPart, FSReorderedBank, FSNoPart, FSNoPartTriple} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			cfg := campaignConfig(t, k)
+			plans := fault.CampaignPlans(len(cfg.Mix.Profiles), 7)
+			res, err := RunCampaign(cfg, plans)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Outcomes) != len(plans) {
+				t.Fatalf("got %d outcomes for %d plans", len(res.Outcomes), len(plans))
+			}
+			for _, o := range res.Outcomes {
+				t.Logf("%-18s %-10s timing=%d schedule=%d scheduler=%d changed=%v injected=%+v",
+					o.Plan, o.Verdict, o.TimingViolations, o.ScheduleViolations,
+					o.SchedulerViolations, o.ChangedDomains, o.Injected)
+				if o.Verdict == VerdictUndetected {
+					t.Errorf("plan %s: silent non-interference failure (changed domains %v)",
+						o.Plan, o.ChangedDomains)
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignFSDetectsDerates pins down that marginal hardware is caught,
+// not merely tolerated: a tRCD derate must be flagged by the shadow
+// checker under FS, because the static offsets assume the nominal tRCD.
+func TestCampaignFSDetectsDerates(t *testing.T) {
+	cfg := campaignConfig(t, FSRankPart)
+	res, err := SimulateChaos(cfg, &fault.Plan{
+		Name:    "trcd",
+		Derates: []fault.RankDerate{{Rank: -1, Derate: fault.Derate{TRCD: 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Monitor.TimingViolations == 0 {
+		t.Fatal("tRCD derate on true hardware went unnoticed by the shadow checker")
+	}
+}
+
+// TestCampaignBaselineLeaks demonstrates the flip side: the non-secure
+// FR-FCFS baseline under a single-domain load fault silently changes other
+// domains' command timing — the monitor has nothing to flag (no schedule
+// to check) and the victim traces diverge.
+func TestCampaignBaselineLeaks(t *testing.T) {
+	cfg := campaignConfig(t, Baseline)
+	plans := fault.CampaignPlans(len(cfg.Mix.Profiles), 7)
+	res, err := RunCampaign(cfg, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Outcomes {
+		t.Logf("%-18s %-10s timing=%d schedule=%d scheduler=%d changed=%v",
+			o.Plan, o.Verdict, o.TimingViolations, o.ScheduleViolations,
+			o.SchedulerViolations, o.ChangedDomains)
+	}
+	if res.Undetected() == 0 {
+		t.Fatal("baseline should silently leak under at least one load fault")
+	}
+}
+
+// TestChaosZeroPlanMatchesUnfaulted: the zero plan must reproduce the
+// unfaulted run exactly — same trace hashes, clean monitor.
+func TestChaosZeroPlanMatchesUnfaulted(t *testing.T) {
+	cfg := campaignConfig(t, FSRankPart)
+	cfg.TargetReads = 0
+	cfg.MaxBusCycles = CampaignCycles
+
+	plain, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos, err := SimulateChaos(cfg, &fault.Plan{Name: "zero", Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Monitor.Detected() || chaos.Monitor.Detected() {
+		t.Fatalf("clean runs flagged: plain=%+v chaos=%+v", plain.Monitor, chaos.Monitor)
+	}
+	for d := range plain.Monitor.DomainTraces {
+		if plain.Monitor.DomainTraces[d] != chaos.Monitor.DomainTraces[d] {
+			t.Errorf("domain %d trace diverged under the zero plan", d)
+		}
+	}
+	if plain.Monitor.Commands != chaos.Monitor.Commands {
+		t.Errorf("command counts diverged: %d vs %d", plain.Monitor.Commands, chaos.Monitor.Commands)
+	}
+}

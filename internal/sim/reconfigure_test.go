@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/workload"
 )
 
@@ -49,17 +50,73 @@ func TestReconfigureSLA(t *testing.T) {
 	}
 }
 
-// TestReconfigureRejectsNonFS pins the documented restriction.
+// TestReconfigureRejectsNonFS pins the documented restriction: only Fixed
+// Service schedulers have a slot grid to re-weight; everything else gets a
+// structured config error, not a panic or a silent no-op.
 func TestReconfigureRejectsNonFS(t *testing.T) {
 	mix, err := workload.Rate("milc", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := New(DefaultConfig(mix, Baseline))
+	for _, k := range []SchedulerKind{Baseline, TPBank, TPNone} {
+		sys, err := New(DefaultConfig(mix, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = sys.Reconfigure([]int{2, 1, 1, 1})
+		if err == nil {
+			t.Fatalf("%s: reconfiguration should be rejected", k)
+		}
+		if fsmerr.CodeOf(err) != fsmerr.CodeConfig {
+			t.Errorf("%s: error code %q, want %q (%v)", k, fsmerr.CodeOf(err), fsmerr.CodeConfig, err)
+		}
+	}
+}
+
+// TestReconfigureRejectsBadWeights covers the weight-validation error
+// paths: wrong length, all-zero weights, and the reordered variant (which
+// serves exactly one transaction per domain per interval by construction).
+// A rejected reconfiguration must leave the old schedule in force.
+func TestReconfigureRejectsBadWeights(t *testing.T) {
+	cases := []struct {
+		name    string
+		kind    SchedulerKind
+		weights []int
+	}{
+		{"wrong-length", FSRankPart, []int{1, 2}},
+		{"zero-sum", FSRankPart, []int{0, 0, 0, 0}},
+		{"reordered", FSReorderedBank, []int{2, 1, 1, 1}},
+	}
+	mix, err := workload.Rate("milc", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Reconfigure([]int{2, 1, 1, 1}); err == nil {
-		t.Fatal("baseline reconfiguration should be rejected")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(mix, tc.kind)
+			cfg.TargetReads = 0
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4000; i++ {
+				sys.Step()
+			}
+			err = sys.Reconfigure(tc.weights)
+			if err == nil {
+				t.Fatal("bad weights accepted")
+			}
+			if fsmerr.CodeOf(err) != fsmerr.CodeConfig {
+				t.Errorf("error code %q, want %q (%v)", fsmerr.CodeOf(err), fsmerr.CodeConfig, err)
+			}
+			// The old schedule must keep serving reads after the rejection.
+			before := sys.totalReads()
+			for i := 0; i < 4000; i++ {
+				sys.Step()
+			}
+			if sys.totalReads() <= before {
+				t.Fatal("system stopped serving reads after a rejected reconfiguration")
+			}
+		})
 	}
 }

@@ -7,11 +7,14 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"fsmem/internal/addr"
 	"fsmem/internal/core"
 	"fsmem/internal/cpu"
 	"fsmem/internal/dram"
+	"fsmem/internal/fault"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/mem"
 	"fsmem/internal/prefetch"
 	"fsmem/internal/sched"
@@ -120,6 +123,18 @@ type Config struct {
 
 	Seed uint64
 
+	// Fault, when non-nil, runs the simulation under the given deterministic
+	// fault plan (see internal/fault): timing derates on the monitor's
+	// shadow checker, command-stream perturbations between scheduler and
+	// device, and load faults. The always-on monitor reports what the
+	// faults did in Result.Monitor.
+	Fault *fault.Plan
+
+	// WallClockBudget bounds the real time one run may take (0 = none).
+	// When exceeded the run stops early with Result.Truncated set rather
+	// than hanging the caller.
+	WallClockBudget time.Duration
+
 	// StreamFactory, when non-nil, overrides the synthetic workload
 	// generator for each domain — e.g. to drive the system from a recorded
 	// trace or a cache-filtered pre-LLC stream. The mix still provides the
@@ -147,10 +162,30 @@ func DefaultConfig(mix workload.Mix, k SchedulerKind) Config {
 }
 
 // Result bundles the run statistics with FS engine counters (nil for
-// non-FS policies).
+// non-FS policies) and the runtime-verification report.
 type Result struct {
 	Run stats.Run
 	FS  *core.FSStats
+
+	// Monitor is the always-on runtime verification report: shadow-checker
+	// timing violations, schedule divergences (FS only), and per-domain
+	// command-trace hashes.
+	Monitor *fault.Report
+
+	// Truncated is set when the run stopped on the max-cycle watchdog or
+	// the wall-clock budget instead of reaching TargetReads; the statistics
+	// are partial but internally consistent.
+	Truncated      bool
+	TruncateReason string
+}
+
+// spikeState tracks one pending queue-pressure spike: extra demand reads
+// force-fed to a domain's read queue starting at a cycle.
+type spikeState struct {
+	domain int
+	at     int64
+	addrs  []dram.Address
+	next   int
 }
 
 // System is one assembled simulation.
@@ -159,21 +194,25 @@ type System struct {
 	ctl   *mem.Controller
 	cores []*cpu.Core
 	fs    *core.FS
+
+	mon    *fault.Monitor
+	inj    *fault.Injector
+	spikes []*spikeState
 }
 
 // New builds the system. It validates the configuration, derives each
 // domain's partition space, and wires cores to the controller.
 func New(cfg Config) (*System, error) {
 	if err := cfg.DRAM.Validate(); err != nil {
-		return nil, err
+		return nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
 	}
 	domains := len(cfg.Mix.Profiles)
 	if domains == 0 {
-		return nil, fmt.Errorf("sim: mix %q has no profiles", cfg.Mix.Name)
+		return nil, fsmerr.New(fsmerr.CodeWorkload, "sim.New", "mix %q has no profiles", cfg.Mix.Name)
 	}
 	for _, p := range cfg.Mix.Profiles {
 		if err := p.Validate(); err != nil {
-			return nil, err
+			return nil, fsmerr.Wrap(fsmerr.CodeWorkload, "sim.New", err)
 		}
 	}
 
@@ -196,7 +235,7 @@ func New(cfg Config) (*System, error) {
 		}
 		tp, err := sched.NewTP(cfg.DRAM, mode, domains, turn)
 		if err != nil {
-			return nil, err
+			return nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
 		}
 		policy = tp
 	default:
@@ -211,7 +250,7 @@ func New(cfg Config) (*System, error) {
 			L:              cfg.FSSlotSpacing,
 		})
 		if err != nil {
-			return nil, err
+			return nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
 		}
 		policy = fs
 	}
@@ -222,11 +261,50 @@ func New(cfg Config) (*System, error) {
 	}
 
 	s := &System{cfg: cfg, ctl: ctl, fs: fs}
+
+	// Always-on runtime verification: every run is shadowed by an
+	// independent timing checker; FS runs additionally assert that the bus
+	// carries exactly the statically planned command stream.
+	s.mon = fault.NewMonitor(cfg.DRAM, domains)
+	if cfg.Scheduler.IsFS() {
+		s.mon.EnableScheduleCheck()
+	}
+	if cfg.Fault != nil {
+		s.mon.ApplyDerates(cfg.Fault.Derates)
+		inj := fault.NewInjector(cfg.Fault, cfg.DRAM)
+		if inj.Active() {
+			s.inj = inj
+			ctl.AttachInjector(inj)
+		}
+		for _, l := range cfg.Fault.Spikes() {
+			if l.Domain < 0 || l.Domain >= domains || l.Count <= 0 {
+				return nil, fsmerr.New(fsmerr.CodeFault, "sim.New",
+					"queue spike targets domain %d (of %d) with count %d", l.Domain, domains, l.Count)
+			}
+			sp := &spikeState{domain: l.Domain, at: l.AtCycle}
+			srng := trace.NewRNG(cfg.Fault.Seed ^ 0x73706b65 ^ uint64(l.Domain))
+			space, err := addr.SpaceFor(cfg.Scheduler.Partition(), l.Domain, domains, cfg.DRAM)
+			if err != nil {
+				return nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
+			}
+			for i := 0; i < l.Count; i++ {
+				sp.addrs = append(sp.addrs, dram.Address{
+					Rank: space.Ranks[srng.Intn(len(space.Ranks))],
+					Bank: space.Banks[srng.Intn(len(space.Banks))],
+					Row:  srng.Intn(cfg.DRAM.RowsPerBank),
+					Col:  srng.Intn(cfg.DRAM.ColsPerRow),
+				})
+			}
+			s.spikes = append(s.spikes, sp)
+		}
+	}
+	ctl.AttachMonitor(s.mon)
+
 	rng := trace.NewRNG(cfg.Seed)
 	for d := 0; d < domains; d++ {
 		space, err := addr.SpaceFor(cfg.Scheduler.Partition(), d, domains, cfg.DRAM)
 		if err != nil {
-			return nil, err
+			return nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
 		}
 		var stream trace.Stream
 		seed := rng.Uint64()
@@ -235,6 +313,7 @@ func New(cfg Config) (*System, error) {
 		} else {
 			stream = workload.NewGenerator(cfg.Mix.Profiles[d], space, cfg.DRAM, seed)
 		}
+		stream = cfg.Fault.StreamFor(d, stream)
 		s.cores = append(s.cores, cpu.NewCore(d, stream, ctl, &ctl.Dom[d]))
 	}
 	return s, nil
@@ -251,7 +330,22 @@ func (s *System) Controller() *mem.Controller { return s.ctl }
 // coloring) is unchanged.
 func (s *System) Reconfigure(weights []int) error {
 	if s.fs == nil {
-		return fmt.Errorf("sim: only Fixed Service schedulers support SLA reconfiguration")
+		return fsmerr.New(fsmerr.CodeConfig, "sim.Reconfigure",
+			"only Fixed Service schedulers support SLA reconfiguration (running %s)", s.ctl.Scheduler().Name())
+	}
+	newCfg := core.Config{
+		Variant:        s.cfg.Scheduler.FSVariant(),
+		Domains:        len(s.cfg.Mix.Profiles),
+		Seed:           s.cfg.Seed + 1,
+		Energy:         s.cfg.Energy,
+		Weights:        weights,
+		RefreshEnabled: s.cfg.RefreshEnabled,
+	}
+	// Validate the new schedule BEFORE draining: a rejected reconfiguration
+	// must leave the running schedule untouched, and the drain quiesces the
+	// old engine. (A dry construction is cheap — the solver is closed-form.)
+	if _, err := core.NewFS(s.cfg.DRAM, newCfg); err != nil {
+		return fsmerr.Wrap(fsmerr.CodeConfig, "sim.Reconfigure", err)
 	}
 	// Drain in two phases: first let queued demand transactions finish
 	// under the old schedule (cores stalled), then quiesce slot planning so
@@ -260,27 +354,31 @@ func (s *System) Reconfigure(weights []int) error {
 	for s.ctl.PendingReads() > 0 || s.ctl.PendingWrites() > 0 {
 		s.ctl.Tick()
 		if s.ctl.Cycle > deadline {
-			return fmt.Errorf("sim: drain phase 1 did not complete by cycle %d", deadline)
+			e := fsmerr.New(fsmerr.CodeDrain, "sim.Reconfigure",
+				"drain phase 1 did not complete by cycle %d (%d reads, %d writes pending)",
+				deadline, s.ctl.PendingReads(), s.ctl.PendingWrites())
+			e.Cycle = s.ctl.Cycle
+			return e
 		}
 	}
 	s.fs.BeginDrain()
 	for !(s.ctl.Drained() && s.fs.Idle()) {
 		s.ctl.Tick()
 		if s.ctl.Cycle > deadline {
-			return fmt.Errorf("sim: drain phase 2 did not complete by cycle %d", deadline)
+			s.fs.CancelDrain()
+			e := fsmerr.New(fsmerr.CodeDrain, "sim.Reconfigure",
+				"drain phase 2 did not complete by cycle %d", deadline)
+			e.Cycle = s.ctl.Cycle
+			return e
 		}
 	}
-	fs, err := core.NewFS(s.cfg.DRAM, core.Config{
-		Variant:        s.cfg.Scheduler.FSVariant(),
-		Domains:        len(s.cfg.Mix.Profiles),
-		Seed:           s.cfg.Seed + 1,
-		Energy:         s.cfg.Energy,
-		Weights:        weights,
-		RefreshEnabled: s.cfg.RefreshEnabled,
-		StartCycle:     s.ctl.Cycle + 1,
-	})
+	newCfg.StartCycle = s.ctl.Cycle + 1
+	fs, err := core.NewFS(s.cfg.DRAM, newCfg)
 	if err != nil {
-		return err
+		// Pre-validation makes this unreachable, but if it ever fires the
+		// old schedule must resume rather than stay quiesced forever.
+		s.fs.CancelDrain()
+		return fsmerr.Wrap(fsmerr.CodeConfig, "sim.Reconfigure", err)
 	}
 	s.fs = fs
 	s.ctl.SetScheduler(fs)
@@ -298,14 +396,49 @@ func (s *System) Step() {
 	}
 }
 
-// Run executes until TargetReads demand reads completed (or the safety
-// stop) and returns the collected statistics.
+// pumpSpikes force-feeds due queue-pressure spikes into their domain's
+// read queue, retrying each cycle while the queue is full.
+func (s *System) pumpSpikes() {
+	for _, sp := range s.spikes {
+		if s.ctl.Cycle < sp.at {
+			continue
+		}
+		for sp.next < len(sp.addrs) && s.ctl.EnqueueRead(sp.domain, sp.addrs[sp.next], nil) {
+			sp.next++
+		}
+	}
+}
+
+// Run executes until TargetReads demand reads completed, the max-cycle
+// watchdog, or the wall-clock budget, and returns the collected
+// statistics. A watchdog stop yields a partial Result with Truncated set
+// instead of an error: the statistics up to the stop are still valid.
 func (s *System) Run() Result {
 	max := s.cfg.MaxBusCycles
 	if max == 0 {
 		max = 40_000_000
 	}
-	for s.ctl.Cycle < max {
+	var res Result
+	start := time.Now()
+	for {
+		if s.ctl.Cycle >= max {
+			// With TargetReads == 0 a fixed-duration run is intentional (the
+			// fault campaign needs cycle-aligned runs); only flag truncation
+			// when a read target went unmet.
+			if s.cfg.TargetReads > 0 {
+				res.Truncated = true
+				res.TruncateReason = fmt.Sprintf("max-cycle watchdog: %d bus cycles without reaching %d reads",
+					max, s.cfg.TargetReads)
+			}
+			break
+		}
+		if s.cfg.WallClockBudget > 0 && s.ctl.Cycle%8192 == 0 && time.Since(start) > s.cfg.WallClockBudget {
+			res.Truncated = true
+			res.TruncateReason = fmt.Sprintf("wall-clock budget %v exhausted at bus cycle %d",
+				s.cfg.WallClockBudget, s.ctl.Cycle)
+			break
+		}
+		s.pumpSpikes()
 		s.Step()
 		if s.cfg.TargetReads > 0 && s.totalReads() >= s.cfg.TargetReads {
 			break
@@ -324,7 +457,10 @@ func (s *System) Run() Result {
 		st := s.fs.Stats
 		fsStats = &st
 	}
-	return Result{Run: run, FS: fsStats}
+	res.Run = run
+	res.FS = fsStats
+	res.Monitor = s.mon.Finalize(s.inj)
+	return res
 }
 
 func (s *System) totalReads() int64 {

@@ -10,7 +10,11 @@
 // memory characterizations; see DESIGN.md for the substitution rationale.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"fsmem/internal/fsmerr"
+)
 
 // Profile is the statistical model of one benchmark's post-LLC memory
 // behavior.
@@ -141,50 +145,52 @@ func Rate(name string, n int) (Mix, error) {
 	return m, nil
 }
 
-func mustByName(name string) Profile {
-	p, err := ByName(name)
-	if err != nil {
-		panic(err)
+func pairedMix(name string, names []string) (Mix, error) {
+	var ps []Profile
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			return Mix{}, fsmerr.Wrap(fsmerr.CodeWorkload, "workload."+name, err)
+		}
+		ps = append(ps, p, p)
 	}
-	return p
+	return Mix{Name: name, Profiles: ps}, nil
 }
 
 // Mix1 is the paper's mix1: two copies each of xalancbmk, soplex, mcf,
 // omnetpp.
-func Mix1() Mix {
-	var ps []Profile
-	for _, n := range []string{"xalancbmk", "soplex", "mcf", "omnetpp"} {
-		p := mustByName(n)
-		ps = append(ps, p, p)
-	}
-	return Mix{Name: "mix1", Profiles: ps}
+func Mix1() (Mix, error) {
+	return pairedMix("mix1", []string{"xalancbmk", "soplex", "mcf", "omnetpp"})
 }
 
 // Mix2 is the paper's mix2: two copies each of milc, lbm, xalancbmk, zeusmp.
-func Mix2() Mix {
-	var ps []Profile
-	for _, n := range []string{"milc", "lbm", "xalancbmk", "zeusmp"} {
-		p := mustByName(n)
-		ps = append(ps, p, p)
-	}
-	return Mix{Name: "mix2", Profiles: ps}
+func Mix2() (Mix, error) {
+	return pairedMix("mix2", []string{"milc", "lbm", "xalancbmk", "zeusmp"})
 }
 
 // EvaluationSuite returns the paper's Figure 5-9 workload list for a given
 // core count: mix1, mix2, CG, SP, and the rate-mode SPEC benchmarks.
-func EvaluationSuite(cores int) []Mix {
+func EvaluationSuite(cores int) ([]Mix, error) {
 	suite := []Mix{}
 	if cores == 8 {
-		suite = append(suite, Mix1(), Mix2())
+		m1, err := Mix1()
+		if err != nil {
+			return nil, err
+		}
+		m2, err := Mix2()
+		if err != nil {
+			return nil, err
+		}
+		suite = append(suite, m1, m2)
 	}
 	for _, n := range []string{"CG", "SP", "astar", "lbm", "libquantum", "mcf", "milc", "zeusmp", "GemsFDTD", "xalancbmk"} {
 		m, err := Rate(n, cores)
 		if err != nil {
-			panic(err)
+			return nil, fsmerr.Wrap(fsmerr.CodeWorkload, "workload.EvaluationSuite", err)
 		}
 		suite = append(suite, m)
 	}
-	return suite
+	return suite, nil
 }
 
 // Synthetic builds an artificial profile, used by the leakage experiments:

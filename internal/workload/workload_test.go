@@ -58,15 +58,28 @@ func TestRateAndMixes(t *testing.T) {
 	if _, err := Rate("nope", 8); err == nil {
 		t.Fatal("Rate with unknown benchmark should error")
 	}
-	for _, mix := range []Mix{Mix1(), Mix2()} {
+	m1, err1 := Mix1()
+	m2, err2 := Mix2()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("mixes: %v, %v", err1, err2)
+	}
+	for _, mix := range []Mix{m1, m2} {
 		if len(mix.Profiles) != 8 {
 			t.Errorf("%s has %d profiles, want 8", mix.Name, len(mix.Profiles))
 		}
 	}
-	if len(EvaluationSuite(8)) < 10 {
+	s8, err := EvaluationSuite(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s8) < 10 {
 		t.Error("8-core suite too small")
 	}
-	if len(EvaluationSuite(4)) >= len(EvaluationSuite(8)) {
+	s4, err := EvaluationSuite(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s4) >= len(s8) {
 		t.Error("4-core suite should omit the 8-thread mixes")
 	}
 }
