@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench chaos sweep clean
+.PHONY: tier1 build vet test race fmt staticcheck bench bench-baseline benchdiff chaos sweep clean
 
-# tier1 is the gate every change must pass: full build, vet, and the test
-# suite under the race detector.
-tier1: build vet race
+# tier1 is the gate every change must pass: full build, vet, the test suite
+# (plain and under the race detector), and gofmt cleanliness. CI runs the
+# same set plus staticcheck and the determinism / bench-regression gates.
+tier1: build vet test race fmt
 
 build:
 	$(GO) build ./...
@@ -18,8 +19,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# staticcheck runs if the binary is on PATH and is otherwise a no-op with a
+# hint, so tier1 stays runnable on machines that cannot install tools.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; fi
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-baseline refreshes the committed regression baseline from a fresh
+# 3-count run; benchdiff gates the current tree against it.
+bench-baseline:
+	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/benchdiff -write -note "make bench-baseline"
+
+benchdiff:
+	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/benchdiff
 
 # chaos runs the fault-injection campaign against every scheduler; it exits
 # non-zero if any Fixed Service variant lets a fault through undetected.
@@ -27,7 +46,7 @@ chaos:
 	$(GO) run ./cmd/chaos
 
 sweep:
-	$(GO) run ./cmd/sweep -figure all
+	$(GO) run ./cmd/sweep -fig all
 
 clean:
 	$(GO) clean ./...

@@ -313,3 +313,32 @@ func BenchmarkSolverDDR4(b *testing.B) {
 	}
 	b.ReportMetric(float64(rot), "l_group_rotation")
 }
+
+// benchSweep regenerates every evaluation figure on a fresh runner with the
+// given pool width. A fresh runner per iteration keeps the memo cache cold,
+// so the benchmark times real simulation work, not cache hits.
+func benchSweep(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Settings{Cores: 8, TargetReads: 800, Seed: 42, Workers: workers})
+		tables, err := experiments.All(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("sweep produced no tables")
+		}
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkSweepParallel1 is the serial reference: the full figure sweep on
+// a 1-wide pool. BenchmarkSweepParallel4 and 8 time the identical grid on
+// wider pools; the speedup ratio is the parallel engine's scaling headline
+// (bounded by GOMAXPROCS — a single-core machine shows ~1x by design).
+func BenchmarkSweepParallel1(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel4 shards the sweep across 4 workers.
+func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
+
+// BenchmarkSweepParallel8 shards the sweep across 8 workers.
+func BenchmarkSweepParallel8(b *testing.B) { benchSweep(b, 8) }

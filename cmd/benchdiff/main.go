@@ -1,0 +1,248 @@
+// Command benchdiff gates benchmark regressions in CI. It parses the
+// output of `go test -bench`, reduces repeated -count runs to their best
+// (minimum) time, and compares the result against a committed JSON
+// baseline:
+//
+//	go test -bench=. -benchmem -benchtime=1x -count=3 -run='^$' . | tee bench.out
+//	benchdiff -bench bench.out -write -baseline BENCH_baseline.json   # refresh
+//	benchdiff -bench bench.out -baseline BENCH_baseline.json          # gate
+//
+// Two kinds of values are compared, with different rules:
+//
+//   - Timing metrics (ns/op, B/op, allocs/op) are one-sided: only a
+//     regression beyond -time-tolerance (default +15%) fails. Taking the
+//     minimum across counts filters scheduler noise; improvements never
+//     fail the gate (refresh the baseline to bank them).
+//
+//   - Custom metrics reported via b.ReportMetric (figure values, solver
+//     outputs) are deterministic simulation results, so they are held to a
+//     tight two-sided -metric-tolerance (default 1%): drift in either
+//     direction means the simulation's answers changed, which is a
+//     correctness failure, not a performance one. The "workers" metric is
+//     exempt — it labels the pool width, it is not a measurement.
+//
+// A benchmark present in the baseline but missing from the run fails the
+// gate (a deleted benchmark must be removed from the baseline on purpose,
+// with -write). New benchmarks absent from the baseline are reported but
+// pass, so adding a benchmark does not require a two-step dance.
+//
+// Exit status: 0 clean, 1 regression or drift, 2 usage or parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded values: best wall time plus every
+// secondary metric go test printed (B/op, allocs/op, ReportMetric values).
+type Entry struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the committed JSON document.
+type Baseline struct {
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo-8   3   123456 ns/op   12 B/op   3 allocs/op   1.5 widgets
+//
+// The -8 CPU suffix is stripped so runs from machines with different core
+// counts compare against the same baseline key.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parse reduces a `go test -bench` stream to one Entry per benchmark,
+// keeping the minimum ns/op (and minimum of each timing metric) across
+// repeated -count runs. Custom metrics are deterministic, so any run's
+// value serves; the last one wins.
+func parse(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, fields := m[1], strings.Fields(m[2])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd value/unit pairing on %q", sc.Text())
+		}
+		e, seen := out[name]
+		if e.Metrics == nil {
+			e.Metrics = map[string]float64{}
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q: %v", name, fields[i], err)
+			}
+			unit := fields[i+1]
+			switch {
+			case unit == "ns/op":
+				if !seen || v < e.NsPerOp {
+					e.NsPerOp = v
+				}
+			case unit == "B/op" || unit == "allocs/op":
+				if prev, ok := e.Metrics[unit]; !ok || v < prev {
+					e.Metrics[unit] = v
+				}
+			default:
+				e.Metrics[unit] = v
+			}
+		}
+		out[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return out, nil
+}
+
+// timingMetric reports whether a secondary metric follows the one-sided
+// timing rule rather than the two-sided determinism rule.
+func timingMetric(unit string) bool { return unit == "B/op" || unit == "allocs/op" }
+
+func compare(base Baseline, got map[string]Entry, timeTol, metricTol float64) []string {
+	var problems []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		have, ok := got[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: in baseline but missing from run", name))
+			continue
+		}
+		if want.NsPerOp > 0 && have.NsPerOp > want.NsPerOp*(1+timeTol) {
+			problems = append(problems, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%, limit +%.0f%%)",
+				name, want.NsPerOp, have.NsPerOp, 100*(have.NsPerOp/want.NsPerOp-1), 100*timeTol))
+		}
+		units := make([]string, 0, len(want.Metrics))
+		for u := range want.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			wv := want.Metrics[unit]
+			hv, ok := have.Metrics[unit]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: metric %q gone from run", name, unit))
+				continue
+			}
+			switch {
+			case unit == "workers": // pool-width label, not a measurement
+			case timingMetric(unit):
+				if wv > 0 && hv > wv*(1+timeTol) {
+					problems = append(problems, fmt.Sprintf("%s: %s %.0f -> %.0f (+%.1f%%, limit +%.0f%%)",
+						name, unit, wv, hv, 100*(hv/wv-1), 100*timeTol))
+				}
+			default:
+				if drift := relDiff(wv, hv); drift > metricTol {
+					problems = append(problems, fmt.Sprintf("%s: %s %g -> %g (drift %.2f%%, limit %.2f%% — simulation output changed)",
+						name, unit, wv, hv, 100*drift, 100*metricTol))
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// relDiff is |a-b| scaled by the larger magnitude, with exact-zero pairs
+// equal (many figure metrics are exactly 0 by construction).
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / den
+}
+
+func run() int {
+	benchPath := flag.String("bench", "", "go test -bench output to read ('-' or empty = stdin)")
+	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
+	write := flag.Bool("write", false, "write the parsed run as the new baseline instead of comparing")
+	note := flag.String("note", "", "with -write: annotation stored in the baseline")
+	timeTol := flag.Float64("time-tolerance", 0.15, "allowed one-sided ns/op, B/op, allocs/op regression (0.15 = +15%)")
+	metricTol := flag.Float64("metric-tolerance", 0.01, "allowed two-sided drift for custom metrics (0.01 = 1%)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *benchPath != "" && *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	if *write {
+		doc := Baseline{Note: *note, Benchmarks: got}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*basePath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(got), *basePath)
+		return 0
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v (run with -write to create the baseline)\n", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *basePath, err)
+		return 2
+	}
+
+	problems := compare(base, got, *timeTol, *metricTol)
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("benchdiff: note: %s is new (not in baseline; add with -write)\n", name)
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s\n", p)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %d problem(s) against %s\n", len(problems), *basePath)
+		return 1
+	}
+	fmt.Printf("benchdiff: %d benchmarks within tolerance of %s\n", len(base.Benchmarks), *basePath)
+	return 0
+}
+
+func main() { os.Exit(run()) }

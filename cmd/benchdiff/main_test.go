@@ -1,0 +1,146 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fsmem
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSolver-8   	     100	   1200000 ns/op	     512 B/op	      12 allocs/op	        21.00 l_rank
+BenchmarkSolver-8   	     100	   1000000 ns/op	     512 B/op	      12 allocs/op	        21.00 l_rank
+BenchmarkSolver-8   	     100	   1100000 ns/op	     520 B/op	      13 allocs/op	        21.00 l_rank
+BenchmarkSweepParallel8-8   	       1	9000000000 ns/op	         8.000 workers
+PASS
+ok  	fsmem	35.0s
+`
+
+func parseSample(t *testing.T) map[string]Entry {
+	t.Helper()
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParseMinAcrossCounts(t *testing.T) {
+	got := parseSample(t)
+	s, ok := got["BenchmarkSolver"]
+	if !ok {
+		t.Fatalf("CPU suffix not stripped: %v", got)
+	}
+	if s.NsPerOp != 1_000_000 {
+		t.Errorf("ns/op = %v, want min across counts 1e6", s.NsPerOp)
+	}
+	if s.Metrics["B/op"] != 512 || s.Metrics["allocs/op"] != 12 {
+		t.Errorf("timing metrics not minimized: %v", s.Metrics)
+	}
+	if s.Metrics["l_rank"] != 21 {
+		t.Errorf("custom metric lost: %v", s.Metrics)
+	}
+	if got["BenchmarkSweepParallel8"].Metrics["workers"] != 8 {
+		t.Errorf("workers label lost: %v", got["BenchmarkSweepParallel8"])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok fsmem 1s\n")); err == nil {
+		t.Fatal("no benchmark lines should be an error")
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	got := parseSample(t)
+	base := Baseline{Benchmarks: got}
+	if p := compare(base, got, 0.15, 0.01); len(p) != 0 {
+		t.Fatalf("identical run flagged: %v", p)
+	}
+}
+
+func TestCompareTimeRegressionOneSided(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkSolver": {NsPerOp: 1_000_000},
+	}}
+	// 10% slower: within the +15% band.
+	ok := map[string]Entry{"BenchmarkSolver": {NsPerOp: 1_100_000}}
+	if p := compare(base, ok, 0.15, 0.01); len(p) != 0 {
+		t.Fatalf("+10%% flagged at 15%% tolerance: %v", p)
+	}
+	// 20% slower: regression.
+	slow := map[string]Entry{"BenchmarkSolver": {NsPerOp: 1_200_000}}
+	if p := compare(base, slow, 0.15, 0.01); len(p) != 1 {
+		t.Fatalf("+20%% not flagged: %v", p)
+	}
+	// 50% faster: improvements never fail.
+	fast := map[string]Entry{"BenchmarkSolver": {NsPerOp: 500_000}}
+	if p := compare(base, fast, 0.15, 0.01); len(p) != 0 {
+		t.Fatalf("improvement flagged: %v", p)
+	}
+}
+
+func TestCompareMetricDriftTwoSided(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkFig6": {NsPerOp: 1, Metrics: map[string]float64{"wipc": 2.00}},
+	}}
+	for _, tc := range []struct {
+		v    float64
+		want int
+	}{
+		{2.00, 0}, // exact
+		{2.01, 0}, // +0.5%: inside 1%
+		{2.10, 1}, // +5%: drift up fails
+		{1.90, 1}, // -5%: drift down fails too (two-sided)
+	} {
+		got := map[string]Entry{"BenchmarkFig6": {NsPerOp: 1, Metrics: map[string]float64{"wipc": tc.v}}}
+		if p := compare(base, got, 0.15, 0.01); len(p) != tc.want {
+			t.Errorf("wipc=%v: %d problems, want %d: %v", tc.v, len(p), tc.want, p)
+		}
+	}
+}
+
+func TestCompareWorkersMetricExempt(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkSweepParallel8": {NsPerOp: 1, Metrics: map[string]float64{"workers": 8}},
+	}}
+	got := map[string]Entry{
+		"BenchmarkSweepParallel8": {NsPerOp: 1, Metrics: map[string]float64{"workers": 1}},
+	}
+	if p := compare(base, got, 0.15, 0.01); len(p) != 0 {
+		t.Fatalf("workers label compared as a measurement: %v", p)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkGone": {NsPerOp: 10},
+	}}
+	p := compare(base, map[string]Entry{"BenchmarkOther": {NsPerOp: 1}}, 0.15, 0.01)
+	if len(p) != 1 || !strings.Contains(p[0], "missing") {
+		t.Fatalf("missing benchmark not flagged: %v", p)
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkFig6": {NsPerOp: 1, Metrics: map[string]float64{"wipc": 2}},
+	}}
+	p := compare(base, map[string]Entry{"BenchmarkFig6": {NsPerOp: 1}}, 0.15, 0.01)
+	if len(p) != 1 || !strings.Contains(p[0], "gone") {
+		t.Fatalf("dropped metric not flagged: %v", p)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if d := relDiff(0, 0); d != 0 {
+		t.Errorf("relDiff(0,0) = %v", d)
+	}
+	if d := relDiff(0, 1); d != 1 {
+		t.Errorf("relDiff(0,1) = %v", d)
+	}
+	if d := relDiff(100, 101); d > 0.011 || d < 0.009 {
+		t.Errorf("relDiff(100,101) = %v", d)
+	}
+}

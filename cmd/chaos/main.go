@@ -19,9 +19,15 @@
 //	chaos                         # campaign across every scheduler
 //	chaos -sched fs_rp            # one scheduler
 //	chaos -workload milc -seed 7  # different traffic and fault seed
+//	chaos -j 8                    # shard each campaign across 8 workers
+//
+// The -j flag bounds the worker pool each campaign's runs are sharded
+// across (0 = GOMAXPROCS). Verdicts are byte-identical for every -j
+// value: every run is a pure function of its configuration and plan.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,6 +73,7 @@ func main() {
 	cores := flag.Int("cores", 4, "cores / security domains")
 	seed := flag.Uint64("seed", 7, "fault-plan seed")
 	verbose := flag.Bool("v", false, "print stored violation details for detected faults")
+	workers := flag.Int("j", 0, "parallel campaign workers (0 = GOMAXPROCS); verdicts are identical for every value")
 	flag.Parse()
 
 	var scheds []string
@@ -91,7 +98,7 @@ func main() {
 		cfg := fsmem.NewConfig(mix, k)
 		cfg.Seed = 1
 		plans := fsmem.StandardFaultPlans(*cores, *seed)
-		res, err := fsmem.RunFaultCampaign(cfg, plans)
+		res, err := fsmem.RunFaultCampaignContext(context.Background(), cfg, plans, *workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %s: %v\n", name, err)
 			exit = 1

@@ -7,6 +7,12 @@
 //	sweep                       # every figure at the default scale
 //	sweep -fig 6 -reads 100000  # one figure, bigger budget
 //	sweep -fig 6 -detail        # include the §7 side statistics
+//	sweep -fig all -j 8         # shard the grid across 8 workers
+//
+// The -j flag bounds the worker pool the simulation grid is sharded
+// across (0 = GOMAXPROCS). Output is byte-identical for every -j value:
+// the pool only decides when cells are computed, never what they contain
+// or the order they are printed in.
 package main
 
 import (
@@ -24,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	detail := flag.Bool("detail", false, "with -fig 6: also print latency/utilization/dummy statistics")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 	render := func(t experiments.Table) string {
 		if *csv {
@@ -42,7 +49,7 @@ func main() {
 		fmt.Println(render(t))
 	}
 
-	r := experiments.NewRunner(experiments.Settings{Cores: *cores, TargetReads: *reads, Seed: *seed})
+	r := experiments.NewRunner(experiments.Settings{Cores: *cores, TargetReads: *reads, Seed: *seed, Workers: *workers})
 	switch *fig {
 	case "all":
 		tables, err := experiments.All(r)

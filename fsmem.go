@@ -29,6 +29,8 @@
 package fsmem
 
 import (
+	"context"
+
 	"fsmem/internal/addr"
 	"fsmem/internal/core"
 	"fsmem/internal/dram"
@@ -90,6 +92,13 @@ func NewConfig(mix Mix, k SchedulerKind) Config { return sim.DefaultConfig(mix, 
 
 // Simulate builds and runs one simulation.
 func Simulate(cfg Config) (Result, error) { return sim.Simulate(cfg) }
+
+// SimulateContext is Simulate with cooperative cancellation: a run cut
+// short by the context returns an ErrCanceled error rather than partial
+// statistics.
+func SimulateContext(ctx context.Context, cfg Config) (Result, error) {
+	return sim.SimulateContext(ctx, cfg)
+}
 
 // WeightedIPC computes the paper's throughput metric: the sum of per-domain
 // IPCs normalized against the same domains under the baseline run.
@@ -169,7 +178,9 @@ type FigureTable = experiments.Table
 
 // RunFigures regenerates every evaluation figure at the given scale.
 // Figures that fail are skipped; their errors are aggregated in the second
-// return value alongside the tables that did regenerate.
+// return value alongside the tables that did regenerate. Each figure's
+// simulation grid is sharded across Settings.Workers pool workers
+// (0 = GOMAXPROCS); the tables are byte-identical for every worker count.
 func RunFigures(s ExperimentSettings) ([]FigureTable, error) {
 	return experiments.All(experiments.NewRunner(s))
 }
@@ -212,6 +223,8 @@ const (
 	ErrTruncated  = fsmerr.CodeTruncated
 	ErrExperiment = fsmerr.CodeExperiment
 	ErrFault      = fsmerr.CodeFault
+	ErrCanceled   = fsmerr.CodeCanceled
+	ErrPanic      = fsmerr.CodePanic
 )
 
 // ErrorCodeOf extracts the ErrorCode of an error, or "" for foreign errors.
@@ -290,7 +303,16 @@ func StandardFaultPlans(domains int, seed uint64) []*FaultPlan {
 // RunFaultCampaign executes every plan against the configuration plus an
 // unfaulted reference run and classifies each fault as detected, harmless,
 // or undetected. Fixed Service schedulers must show zero undetected faults;
-// the non-secure baseline will not.
+// the non-secure baseline will not. Runs are sharded across a
+// GOMAXPROCS-wide worker pool; verdicts are byte-identical to a serial
+// campaign.
 func RunFaultCampaign(cfg Config, plans []*FaultPlan) (*FaultCampaign, error) {
 	return sim.RunCampaign(cfg, plans)
+}
+
+// RunFaultCampaignContext is RunFaultCampaign with cancellation and an
+// explicit worker-pool width (workers <= 0 selects the GOMAXPROCS
+// default).
+func RunFaultCampaignContext(ctx context.Context, cfg Config, plans []*FaultPlan, workers int) (*FaultCampaign, error) {
+	return sim.RunCampaignContext(ctx, cfg, plans, workers)
 }

@@ -30,6 +30,18 @@ func AblationSlotSpacing(r *Runner) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
+	var specs []Spec
+	for _, mix := range suite {
+		specs = append(specs, Spec{Mix: mix, Kind: sim.Baseline})
+		for _, l := range []int{15, 21, 43} {
+			l := l
+			specs = append(specs, Spec{Mix: mix, Kind: sim.FSBankPart,
+				Mutate: func(c *sim.Config) { c.FSSlotSpacing = l }})
+		}
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return Table{}, err
+	}
 	for _, mix := range suite {
 		row := Row{Label: mix.Name}
 		for i, l := range []int{15, 21, 43} {
@@ -62,23 +74,33 @@ func AblationSLAWeights(r *Runner) (Table, error) {
 		Title:   "Weighted SLA slots under FS_RP (4 domains, weights 2:1:1:1)",
 		Columns: []string{"dom0 IPC ratio", "dom1 IPC ratio", "interval Q"},
 	}
+	weights := func(c *sim.Config) { c.SLAWeights = []int{2, 1, 1, 1} }
+	mixes := make([]workload.Mix, 0, 3)
+	var specs []Spec
 	for _, name := range []string{"milc", "mcf", "libquantum"} {
 		mix, err := workload.Rate(name, 4)
 		if err != nil {
 			return Table{}, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.AblationSLAWeights", err)
 		}
+		mixes = append(mixes, mix)
+		specs = append(specs,
+			Spec{Mix: mix, Kind: sim.FSRankPart},
+			Spec{Mix: mix, Kind: sim.FSRankPart, Mutate: weights})
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return Table{}, err
+	}
+	for _, mix := range mixes {
 		equal, err := r.run(mix, sim.FSRankPart, nil)
 		if err != nil {
 			return Table{}, err
 		}
-		weighted, err := r.run(mix, sim.FSRankPart, func(c *sim.Config) {
-			c.SLAWeights = []int{2, 1, 1, 1}
-		})
+		weighted, err := r.run(mix, sim.FSRankPart, weights)
 		if err != nil {
 			return Table{}, err
 		}
 		q := 7.0 * 5 // l * total slots
-		t.Rows = append(t.Rows, Row{Label: name, Values: []float64{
+		t.Rows = append(t.Rows, Row{Label: mix.Name, Values: []float64{
 			weighted.Run.Domains[0].IPC() / equal.Run.Domains[0].IPC(),
 			weighted.Run.Domains[1].IPC() / equal.Run.Domains[1].IPC(),
 			q,
@@ -96,20 +118,33 @@ func AblationRefresh(r *Runner) (Table, error) {
 		Title:   "FS_RP with deterministic refresh windows",
 		Columns: []string{"no refresh", "refresh", "slowdown %"},
 	}
+	refresh := func(c *sim.Config) { c.RefreshEnabled = true }
+	mixes := make([]workload.Mix, 0, 3)
+	var specs []Spec
 	for _, name := range []string{"milc", "mcf", "xalancbmk"} {
 		mix, err := workload.Rate(name, 8)
 		if err != nil {
 			return Table{}, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.AblationRefresh", err)
 		}
+		mixes = append(mixes, mix)
+		specs = append(specs,
+			Spec{Mix: mix, Kind: sim.Baseline},
+			Spec{Mix: mix, Kind: sim.FSRankPart},
+			Spec{Mix: mix, Kind: sim.FSRankPart, Mutate: refresh})
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return Table{}, err
+	}
+	for _, mix := range mixes {
 		off, err := r.weighted(mix, sim.FSRankPart, nil)
 		if err != nil {
 			return Table{}, err
 		}
-		on, err := r.weighted(mix, sim.FSRankPart, func(c *sim.Config) { c.RefreshEnabled = true })
+		on, err := r.weighted(mix, sim.FSRankPart, refresh)
 		if err != nil {
 			return Table{}, err
 		}
-		t.Rows = append(t.Rows, Row{Label: name, Values: []float64{off, on, (1 - on/off) * 100}})
+		t.Rows = append(t.Rows, Row{Label: mix.Name, Values: []float64{off, on, (1 - on/off) * 100}})
 	}
 	t.Notes = append(t.Notes, "tRFC/tREFI = 208/6240 bounds the refresh tax near 3-4% plus quiesce slots")
 	return t, nil
@@ -178,16 +213,28 @@ func AblationDDR4(r *Runner) (Table, error) {
 	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank, sim.FSNoPartTriple, sim.TPNone}
 	sums := make([]float64, len(schemes))
 	n := 0.0
+	mixes := make([]workload.Mix, 0, 4)
+	var specs []Spec
 	for _, name := range []string{"milc", "mcf", "libquantum", "zeusmp"} {
 		mix, err := workload.Rate(name, 8)
 		if err != nil {
 			return Table{}, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.AblationDDR4", err)
 		}
+		mixes = append(mixes, mix)
+		specs = append(specs, Spec{Mix: mix, Kind: sim.Baseline, Mutate: ddr4})
+		for _, k := range schemes {
+			specs = append(specs, Spec{Mix: mix, Kind: k, Mutate: ddr4})
+		}
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return Table{}, err
+	}
+	for _, mix := range mixes {
 		base, err := r.run(mix, sim.Baseline, ddr4)
 		if err != nil {
 			return Table{}, err
 		}
-		row := Row{Label: name}
+		row := Row{Label: mix.Name}
 		for i, k := range schemes {
 			res, err := r.run(mix, k, ddr4)
 			if err != nil {

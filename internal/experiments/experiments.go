@@ -2,18 +2,31 @@
 // (Section 7). Each FigureN function returns a Table whose rows mirror the
 // figure's data series; cmd/sweep prints them, the benchmarks time them,
 // and EXPERIMENTS.md records them against the paper's numbers.
+//
+// Execution model: every figure is a grid of independent simulations
+// (workload mix x scheduler x configuration mutation). Each figure first
+// shards its grid across the runner's worker pool (Runner.Prefetch, built
+// on internal/parallel), which memoizes every cell, then assembles its
+// table by replaying the original serial loops against the warm cache.
+// Because assembly only reads memoized cells in figure order, the emitted
+// tables — values, row order, and error text alike — are byte-identical
+// for every worker count, including Workers=1 (the serial path is the same
+// code with a one-wide pool).
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"fsmem/internal/core"
 	"fsmem/internal/energy"
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/leakage"
+	"fsmem/internal/parallel"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
 	"fsmem/internal/workload"
@@ -86,6 +99,11 @@ type Settings struct {
 	Cores       int
 	TargetReads int64
 	Seed        uint64
+
+	// Workers bounds the worker pool the figure grids are sharded across
+	// (0 = GOMAXPROCS). Every table is byte-identical for every value; 1
+	// is the serial path.
+	Workers int
 }
 
 // DefaultSettings returns the 8-core evaluation configuration.
@@ -106,42 +124,143 @@ type runKey struct {
 	dram     int // bank groups disambiguate DDR3 vs DDR4 runs
 }
 
+// cellValue is one memoized grid cell: the simulation result or the error
+// it failed with (errors memoize too, so a failed cell reports the same
+// failure whether it was computed by the pool or inline).
+type cellValue struct {
+	res sim.Result
+	err error
+}
+
 // Runner executes and memoizes simulation runs (every figure normalizes
-// against the same baseline runs).
+// against the same baseline runs). The memo cache is safe for the
+// concurrent cell fills Prefetch performs.
 type Runner struct {
-	S     Settings
-	cache map[runKey]sim.Result
+	S Settings
+
+	// Ctx, when non-nil, cancels in-flight sweeps: pool dispatch stops and
+	// running simulations truncate at their next watchdog check. Canceled
+	// cells are never memoized.
+	Ctx context.Context
+
+	mu    sync.Mutex
+	cache map[runKey]cellValue
 }
 
 // NewRunner builds a runner.
 func NewRunner(s Settings) *Runner {
-	return &Runner{S: s, cache: map[runKey]sim.Result{}}
+	return &Runner{S: s, cache: map[runKey]cellValue{}}
 }
 
-func (r *Runner) run(mix workload.Mix, k sim.SchedulerKind, mutate func(*sim.Config)) (sim.Result, error) {
-	cfg := sim.DefaultConfig(mix, k)
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// Spec names one grid cell: a workload mix, a scheduler, and an optional
+// configuration mutation (turn length, slot spacing, energy options, ...).
+type Spec struct {
+	Mix    workload.Mix
+	Kind   sim.SchedulerKind
+	Mutate func(*sim.Config)
+}
+
+// configFor expands a spec into its full simulation config and memo key.
+func (r *Runner) configFor(sp Spec) (sim.Config, runKey) {
+	cfg := sim.DefaultConfig(sp.Mix, sp.Kind)
 	cfg.Seed = r.S.Seed
 	cfg.TargetReads = r.S.TargetReads
-	if mutate != nil {
-		mutate(&cfg)
+	if sp.Mutate != nil {
+		sp.Mutate(&cfg)
 	}
 	key := runKey{
-		workload: mix.Name, sched: k, prefetch: cfg.Prefetch, energy: cfg.Energy,
-		turn: cfg.TPTurnLength, cores: len(mix.Profiles),
+		workload: sp.Mix.Name, sched: sp.Kind, prefetch: cfg.Prefetch, energy: cfg.Energy,
+		turn: cfg.TPTurnLength, cores: len(sp.Mix.Profiles),
 		slotL: cfg.FSSlotSpacing, refresh: cfg.RefreshEnabled,
 		weights: fmt.Sprint(cfg.SLAWeights),
 		dram:    cfg.DRAM.BankGroups,
 	}
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	res, err := sim.Simulate(cfg)
+	return cfg, key
+}
+
+func (r *Runner) lookup(key runKey) (cellValue, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.cache[key]
+	return v, ok
+}
+
+func (r *Runner) store(key runKey, v cellValue) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache[key] = v
+}
+
+// simulate runs one cell, wrapping failures the way every caller reports
+// them. Shared by the pool fill and the inline (cache-miss) path so both
+// produce identical errors.
+func (r *Runner) simulate(ctx context.Context, sp Spec, cfg sim.Config) cellValue {
+	res, err := sim.SimulateContext(ctx, cfg)
 	if err != nil {
-		return sim.Result{}, fsmerr.Wrap(fsmerr.CodeExperiment,
-			fmt.Sprintf("experiments.run(%s/%v)", mix.Name, k), err)
+		err = fsmerr.Wrap(fsmerr.CodeExperiment,
+			fmt.Sprintf("experiments.run(%s/%v)", sp.Mix.Name, sp.Kind), err)
 	}
-	r.cache[key] = res
-	return res, nil
+	return cellValue{res: res, err: err}
+}
+
+// Prefetch shards the given grid cells across the runner's worker pool and
+// memoizes every cell's result or error. Cells already cached (or listed
+// twice) are simulated once. The pool only warms the cache — tables are
+// always assembled afterwards by the serial figure loops reading memoized
+// cells in figure order — so output is independent of worker count and
+// scheduling order by construction. The returned error is non-nil only
+// for cancellation or a panicking cell; ordinary simulation failures are
+// memoized and surface during assembly exactly where the serial path
+// would have hit them.
+func (r *Runner) Prefetch(specs []Spec) error {
+	seen := map[runKey]bool{}
+	var cells []parallel.Cell[struct{}]
+	for _, sp := range specs {
+		sp := sp
+		cfg, key := r.configFor(sp)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := r.lookup(key); ok {
+			continue
+		}
+		cells = append(cells, parallel.Cell[struct{}]{
+			Key: fmt.Sprintf("%s/%v", sp.Mix.Name, sp.Kind),
+			Run: func(ctx context.Context) (struct{}, error) {
+				v := r.simulate(ctx, sp, cfg)
+				if fsmerr.CodeOf(v.err) == fsmerr.CodeCanceled {
+					// A canceled cell's partial state must not poison the
+					// cache: a later retry with a live context re-runs it.
+					return struct{}{}, v.err
+				}
+				r.store(key, v)
+				return struct{}{}, nil
+			},
+		})
+	}
+	_, err := parallel.Map(r.ctx(), r.S.Workers, cells)
+	return err
+}
+
+func (r *Runner) run(mix workload.Mix, k sim.SchedulerKind, mutate func(*sim.Config)) (sim.Result, error) {
+	sp := Spec{Mix: mix, Kind: k, Mutate: mutate}
+	cfg, key := r.configFor(sp)
+	if v, ok := r.lookup(key); ok {
+		return v.res, v.err
+	}
+	v := r.simulate(r.ctx(), sp, cfg)
+	if fsmerr.CodeOf(v.err) != fsmerr.CodeCanceled {
+		r.store(key, v)
+	}
+	return v.res, v.err
 }
 
 // weighted returns the sum of weighted IPCs for the scheme, normalized
@@ -165,6 +284,19 @@ func (r *Runner) weighted(mix workload.Mix, k sim.SchedulerKind, mutate func(*si
 
 func (r *Runner) suite() ([]workload.Mix, error) { return workload.EvaluationSuite(r.S.Cores) }
 
+// weightedSpecs builds the prefetch grid for figures that normalize each
+// scheme against the non-secure baseline on the same mix.
+func weightedSpecs(suite []workload.Mix, schemes []sim.SchedulerKind, mutate func(*sim.Config)) []Spec {
+	var specs []Spec
+	for _, mix := range suite {
+		specs = append(specs, Spec{Mix: mix, Kind: sim.Baseline})
+		for _, k := range schemes {
+			specs = append(specs, Spec{Mix: mix, Kind: k, Mutate: mutate})
+		}
+	}
+	return specs
+}
+
 // Figure3 regenerates the design-space summary: arithmetic-mean normalized
 // throughput (baseline = 1.0) for the five secure design points.
 func Figure3(r *Runner) (Table, error) {
@@ -180,6 +312,9 @@ func Figure3(r *Runner) (Table, error) {
 	n := 0
 	suite, err := r.suite()
 	if err != nil {
+		return Table{}, err
+	}
+	if err := r.Prefetch(weightedSpecs(suite, schemes, nil)); err != nil {
 		return Table{}, err
 	}
 	for _, mix := range suite {
@@ -203,7 +338,9 @@ func Figure3(r *Runner) (Table, error) {
 
 // Figure4 regenerates the execution-profile experiment: mcf against idle
 // and memory-intensive co-runners, under the baseline and FS_RP. It
-// returns the four profiles and a divergence summary table.
+// returns the four profiles and a divergence summary table. The four
+// profile collections are independent and run on the worker pool; the
+// table is assembled from the ordered results.
 func Figure4(r *Runner) (Table, []leakage.Profile, error) {
 	att, err := workload.ByName("mcf")
 	if err != nil {
@@ -211,22 +348,31 @@ func Figure4(r *Runner) (Table, []leakage.Profile, error) {
 	}
 	milestone := int64(10_000)
 	total := int64(40) * milestone
-	var profiles []leakage.Profile
 	t := Table{
 		ID:      "Figure 4",
 		Title:   "mcf execution profiles: divergence vs co-runner intensity",
 		Columns: []string{"max divergence", "identical"},
 	}
-	for _, k := range []sim.SchedulerKind{sim.Baseline, sim.FSRankPart} {
-		quiet, err := leakage.CollectProfile(k, att, workload.Synthetic("idle", 0.01), r.S.Cores, milestone, total, r.S.Seed)
-		if err != nil {
-			return Table{}, nil, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.Figure4", err)
+	scheds := []sim.SchedulerKind{sim.Baseline, sim.FSRankPart}
+	coRunners := []workload.Profile{workload.Synthetic("idle", 0.01), workload.Synthetic("streaming", 45)}
+	var cells []parallel.Cell[leakage.Profile]
+	for _, k := range scheds {
+		for _, co := range coRunners {
+			k, co := k, co
+			cells = append(cells, parallel.Cell[leakage.Profile]{
+				Key: fmt.Sprintf("Figure4/%v/%s", k, co.Name),
+				Run: func(context.Context) (leakage.Profile, error) {
+					return leakage.CollectProfile(k, att, co, r.S.Cores, milestone, total, r.S.Seed)
+				},
+			})
 		}
-		loud, err := leakage.CollectProfile(k, att, workload.Synthetic("streaming", 45), r.S.Cores, milestone, total, r.S.Seed)
-		if err != nil {
-			return Table{}, nil, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.Figure4", err)
-		}
-		profiles = append(profiles, quiet, loud)
+	}
+	profiles, err := parallel.Map(r.ctx(), r.S.Workers, cells)
+	if err != nil {
+		return Table{}, nil, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.Figure4", err)
+	}
+	for i, k := range scheds {
+		quiet, loud := profiles[2*i], profiles[2*i+1]
 		div, err := leakage.Divergence(quiet, loud)
 		if err != nil {
 			return Table{}, nil, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.Figure4", err)
@@ -260,6 +406,23 @@ func Figure5(r *Runner) (Table, error) {
 	sums := make([]float64, 6)
 	suite, err := r.suite()
 	if err != nil {
+		return Table{}, err
+	}
+	var specs []Spec
+	for _, mix := range suite {
+		specs = append(specs, Spec{Mix: mix, Kind: sim.Baseline})
+		for _, turn := range bpTurns {
+			turn := turn
+			specs = append(specs, Spec{Mix: mix, Kind: sim.TPBank,
+				Mutate: func(c *sim.Config) { c.TPTurnLength = turn }})
+		}
+		for _, turn := range npTurns {
+			turn := turn
+			specs = append(specs, Spec{Mix: mix, Kind: sim.TPNone,
+				Mutate: func(c *sim.Config) { c.TPTurnLength = turn }})
+		}
+	}
+	if err := r.Prefetch(specs); err != nil {
 		return Table{}, err
 	}
 	for _, mix := range suite {
@@ -308,6 +471,9 @@ func Figure6(r *Runner) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
+	if err := r.Prefetch(weightedSpecs(suite, schemes, nil)); err != nil {
+		return Table{}, err
+	}
 	for _, mix := range suite {
 		row := Row{Label: mix.Name}
 		for i, k := range schemes {
@@ -343,6 +509,15 @@ func Figure6Detail(r *Runner) (Table, error) {
 	n := 0.0
 	suite, err := r.suite()
 	if err != nil {
+		return Table{}, err
+	}
+	var specs []Spec
+	for _, mix := range suite {
+		specs = append(specs,
+			Spec{Mix: mix, Kind: sim.FSRankPart},
+			Spec{Mix: mix, Kind: sim.TPBank})
+	}
+	if err := r.Prefetch(specs); err != nil {
 		return Table{}, err
 	}
 	for _, mix := range suite {
@@ -385,6 +560,17 @@ func Figure7(r *Runner) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
+	var specs []Spec
+	for _, mix := range suite {
+		specs = append(specs,
+			Spec{Mix: mix, Kind: sim.Baseline},
+			Spec{Mix: mix, Kind: sim.Baseline, Mutate: pf},
+			Spec{Mix: mix, Kind: sim.FSRankPart, Mutate: pf},
+			Spec{Mix: mix, Kind: sim.FSRankPart})
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return Table{}, err
+	}
 	for _, mix := range suite {
 		row := Row{Label: mix.Name}
 		for _, job := range []struct {
@@ -424,6 +610,9 @@ func Figure8(r *Runner) (Table, error) {
 	sums := make([]float64, len(schemes))
 	suite, err := r.suite()
 	if err != nil {
+		return Table{}, err
+	}
+	if err := r.Prefetch(weightedSpecs(suite, schemes, nil)); err != nil {
 		return Table{}, err
 	}
 	for _, mix := range suite {
@@ -473,6 +662,18 @@ func Figure9(r *Runner) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
+	var specs []Spec
+	for _, mix := range suite {
+		specs = append(specs, Spec{Mix: mix, Kind: sim.Baseline})
+		for _, o := range opts {
+			o := o
+			specs = append(specs, Spec{Mix: mix, Kind: sim.FSRankPart,
+				Mutate: func(c *sim.Config) { c.Energy = o }})
+		}
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return Table{}, err
+	}
 	for _, mix := range suite {
 		base, err := r.run(mix, sim.Baseline, nil)
 		if err != nil {
@@ -502,23 +703,30 @@ func Figure9(r *Runner) (Table, error) {
 }
 
 // Figure10 regenerates the scalability study: FS_RP, FS_Reordered_BP, and
-// TP_BP at 8, 4, and 2 cores (normalized per core count).
+// TP_BP at 8, 4, and 2 cores (normalized per core count). Each core count
+// gets its own sub-runner (different suites), inheriting the parent's
+// worker pool and cancellation context.
 func Figure10(r *Runner) (Table, error) {
 	t := Table{
 		ID:      "Figure 10",
 		Title:   "Scalability: sum of weighted IPCs at 8/4/2 cores",
 		Columns: []string{"FS_RP", "FS_Reordered_BP", "TP"},
 	}
+	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank}
 	for _, cores := range []int{8, 4, 2} {
-		sub := NewRunner(Settings{Cores: cores, TargetReads: r.S.TargetReads, Seed: r.S.Seed})
+		sub := NewRunner(Settings{Cores: cores, TargetReads: r.S.TargetReads, Seed: r.S.Seed, Workers: r.S.Workers})
+		sub.Ctx = r.Ctx
 		var sums [3]float64
 		n := 0.0
 		suite, err := sub.suite()
 		if err != nil {
 			return Table{}, err
 		}
+		if err := sub.Prefetch(weightedSpecs(suite, schemes, nil)); err != nil {
+			return Table{}, err
+		}
 		for _, mix := range suite {
-			for i, k := range []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank} {
+			for i, k := range schemes {
 				w, err := sub.weighted(mix, k, nil)
 				if err != nil {
 					return Table{}, err
@@ -551,6 +759,10 @@ func capture(id string, f func() (Table, error)) (t Table, err error) {
 // All regenerates every figure in order. Figure 4's profile series are
 // folded into its table. Figures that fail are skipped and their errors
 // aggregated, so a partial regeneration still returns every healthy table.
+// Figures run sequentially — each one shards its own simulation grid
+// across the runner's worker pool, and later figures reuse the memoized
+// baseline runs of earlier ones — so the table sequence is identical for
+// every worker count.
 func All(r *Runner) ([]Table, error) {
 	figures := []struct {
 		id string

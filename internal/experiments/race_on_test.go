@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with -race; the full
+// serial-vs-parallel sweep comparison is skipped there (the race detector
+// multiplies its minutes-long runtime several-fold) — the engine's
+// concurrency is race-tested by the cheaper cancellation/dedup tests and
+// internal/parallel's own suite, and byte-equality is race-independent.
+const raceEnabled = true

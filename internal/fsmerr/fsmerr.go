@@ -40,6 +40,12 @@ const (
 	CodeExperiment Code = "experiment"
 	// CodeFault: an injected fault could not be applied as planned.
 	CodeFault Code = "fault"
+	// CodeCanceled: the caller's context was canceled before the run (or
+	// sweep cell) completed; partial state was discarded, not cached.
+	CodeCanceled Code = "canceled"
+	// CodePanic: a worker-pool cell panicked; the pool isolated it and
+	// converted the panic into this error instead of crashing the sweep.
+	CodePanic Code = "panic"
 )
 
 // NoCycle marks an error that is not tied to a specific bus cycle.

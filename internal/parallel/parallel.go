@@ -1,0 +1,123 @@
+// Package parallel is the bounded worker-pool execution engine behind the
+// experiment sweeps and fault campaigns. The paper's evaluation is a large
+// grid of independent simulations (scheduler x partitioning x workload x
+// seed); this package shards such a grid across a fixed number of workers
+// and merges the results through a deterministic ordered reduce, so every
+// table, figure, and campaign verdict is byte-identical whatever the worker
+// count or goroutine scheduling order.
+//
+// Determinism contract:
+//
+//   - Results are returned in cell input order, never completion order.
+//   - Per-cell errors are collected with errors.Join in input order; one
+//     failed or panicking cell never prevents the others from finishing.
+//   - A cell that needs randomness must derive its seed from its own key
+//     (DeriveSeed), never draw from an RNG shared across cells — a shared
+//     RNG would couple a cell's output to the order its siblings ran in.
+//
+// Cancellation: the pool stops dispatching new cells as soon as the context
+// is done and hands the context to running cells so in-flight simulations
+// can stop at their next watchdog check. Map then drains cleanly and
+// reports the cancellation exactly once, as an fsmerr CodeCanceled error
+// joined after the per-cell errors.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"fsmem/internal/fsmerr"
+)
+
+// DefaultWorkers is the GOMAXPROCS-aware default pool width used when a
+// caller passes workers <= 0.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// DeriveSeed derives a per-cell seed from a base seed and the cell's key:
+// base XOR FNV-1a(key). Two cells with different keys get decorrelated
+// streams, and the derivation depends only on (base, key) — never on which
+// worker ran the cell or when — so results are independent of scheduling
+// order by construction.
+func DeriveSeed(base uint64, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return base ^ h.Sum64()
+}
+
+// Cell is one independent unit of work in a sharded grid. Key identifies
+// the cell in error messages and seed derivation and should be stable
+// across runs (e.g. "Figure6/milc/FS_RP").
+type Cell[T any] struct {
+	Key string
+	Run func(ctx context.Context) (T, error)
+}
+
+// Map runs every cell on a pool of at most `workers` goroutines
+// (workers <= 0 selects DefaultWorkers) and returns the results in cell
+// input order. Errors from individual cells are joined in input order; a
+// panicking cell is converted to a CodePanic error rather than crashing
+// the process. When ctx is canceled, cells not yet started are skipped,
+// running cells receive the canceled context, and a single CodeCanceled
+// error is joined last.
+func Map[T any](ctx context.Context, workers int, cells []Cell[T]) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(cells)
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range cells {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = runCell(ctx, cells[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, fsmerr.Wrap(fsmerr.CodeCanceled, "parallel.Map", err))
+	}
+	return out, errors.Join(errs...)
+}
+
+// runCell executes one cell, isolating panics so a single broken cell
+// surfaces as a structured error instead of tearing down the whole sweep.
+func runCell[T any](ctx context.Context, c Cell[T]) (res T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fsmerr.New(fsmerr.CodePanic, "parallel.Map("+c.Key+")", "panic: %v", p)
+		}
+	}()
+	// A cell the cancellation already overtook is skipped silently: Map
+	// reports the cancellation once rather than once per unstarted cell.
+	if ctx.Err() != nil {
+		return res, nil
+	}
+	return c.Run(ctx)
+}

@@ -1,0 +1,230 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsmem/internal/fsmerr"
+)
+
+// TestMapOrderedResults pins the determinism contract: results come back in
+// cell input order for every worker count, even when later cells finish
+// first.
+func TestMapOrderedResults(t *testing.T) {
+	const n = 24
+	cells := make([]Cell[int], n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{
+			Key: fmt.Sprintf("cell-%d", i),
+			Run: func(context.Context) (int, error) {
+				// Later cells sleep less, so completion order is roughly the
+				// reverse of input order.
+				time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+				return i * i, nil
+			},
+		}
+	}
+	for _, workers := range []int{1, 3, 8, 16} {
+		out, err := Map(context.Background(), workers, cells)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapWorkersExceedCells: a pool wider than the grid must clamp, not
+// deadlock or spin idle goroutines.
+func TestMapWorkersExceedCells(t *testing.T) {
+	cells := []Cell[string]{
+		{Key: "a", Run: func(context.Context) (string, error) { return "a", nil }},
+		{Key: "b", Run: func(context.Context) (string, error) { return "b", nil }},
+	}
+	out, err := Map(context.Background(), 64, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "a" || out[1] != "b" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestMapZeroCells: an empty grid completes immediately with no error.
+func TestMapZeroCells(t *testing.T) {
+	out, err := Map[int](context.Background(), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("out = %v, want empty", out)
+	}
+}
+
+// TestMapCellError: a cell returning a structured fsmerr.Error must not
+// stop the pool — every other cell completes, and the joined error
+// surfaces the structured failure via errors.As.
+func TestMapCellError(t *testing.T) {
+	var completed atomic.Int32
+	want := fsmerr.New(fsmerr.CodeTiming, "test.cell", "injected failure")
+	cells := make([]Cell[int], 10)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{
+			Key: fmt.Sprintf("cell-%d", i),
+			Run: func(context.Context) (int, error) {
+				if i == 3 {
+					return 0, want
+				}
+				completed.Add(1)
+				return i, nil
+			},
+		}
+	}
+	out, err := Map(context.Background(), 4, cells)
+	if err == nil {
+		t.Fatal("want joined error, got nil")
+	}
+	var fe *fsmerr.Error
+	if !errors.As(err, &fe) || fe.Code != fsmerr.CodeTiming {
+		t.Fatalf("joined error lost the structured cell error: %v", err)
+	}
+	if got := completed.Load(); got != 9 {
+		t.Errorf("pool did not drain: %d of 9 healthy cells completed", got)
+	}
+	for i, v := range out {
+		if i != 3 && v != i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestMapPanicIsolation: a panicking cell becomes a CodePanic error naming
+// the cell; its siblings still run.
+func TestMapPanicIsolation(t *testing.T) {
+	var completed atomic.Int32
+	cells := []Cell[int]{
+		{Key: "healthy-0", Run: func(context.Context) (int, error) { completed.Add(1); return 1, nil }},
+		{Key: "broken", Run: func(context.Context) (int, error) { panic("boom") }},
+		{Key: "healthy-1", Run: func(context.Context) (int, error) { completed.Add(1); return 2, nil }},
+	}
+	_, err := Map(context.Background(), 2, cells)
+	if fsmerr.CodeOf(err) != fsmerr.CodePanic {
+		t.Fatalf("want CodePanic, got %v", err)
+	}
+	if err == nil || !errors.As(err, new(*fsmerr.Error)) {
+		t.Fatalf("panic not converted to structured error: %v", err)
+	}
+	if completed.Load() != 2 {
+		t.Errorf("healthy cells did not complete after sibling panic")
+	}
+}
+
+// TestMapCancellation: canceling mid-sweep stops dispatch, lets running
+// cells observe the canceled context, and reports the cancellation exactly
+// once — the pool drains instead of hanging.
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	cells := make([]Cell[int], 32)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{
+			Key: fmt.Sprintf("cell-%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				started.Add(1)
+				if i == 0 {
+					cancel()
+					return 0, nil
+				}
+				select {
+				case <-ctx.Done():
+					return 0, fsmerr.Wrap(fsmerr.CodeCanceled, "test.cell", ctx.Err())
+				case <-time.After(5 * time.Second):
+					return i, nil
+				}
+			},
+		}
+	}
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = Map(ctx, 2, cells)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map did not drain after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in joined error, got %v", err)
+	}
+	if fsmerr.CodeOf(err) != fsmerr.CodeCanceled {
+		t.Fatalf("want a CodeCanceled fsmerr, got %v", err)
+	}
+	if n := started.Load(); n >= 32 {
+		t.Errorf("cancellation did not stop dispatch: all %d cells started", n)
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts: the same pure cells produce
+// bit-identical output vectors for every pool width.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	mk := func() []Cell[uint64] {
+		cells := make([]Cell[uint64], 40)
+		for i := range cells {
+			key := fmt.Sprintf("grid/%d", i)
+			cells[i] = Cell[uint64]{
+				Key: key,
+				Run: func(context.Context) (uint64, error) {
+					// A cell using randomness derives its seed from its key:
+					// the value depends only on the cell, never the schedule.
+					s := DeriveSeed(42, key)
+					for j := 0; j < 1000; j++ {
+						s = s*6364136223846793005 + 1442695040888963407
+					}
+					return s, nil
+				},
+			}
+		}
+		return cells
+	}
+	ref, err := Map(context.Background(), 1, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7, 16} {
+		got, err := Map(context.Background(), workers, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDeriveSeed: stable, key-sensitive, and base-sensitive.
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(42, "a/b") != DeriveSeed(42, "a/b") {
+		t.Error("DeriveSeed not stable")
+	}
+	if DeriveSeed(42, "a/b") == DeriveSeed(42, "a/c") {
+		t.Error("DeriveSeed ignores the key")
+	}
+	if DeriveSeed(42, "a/b") == DeriveSeed(43, "a/b") {
+		t.Error("DeriveSeed ignores the base seed")
+	}
+}

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
+
 	"fsmem/internal/fault"
 	"fsmem/internal/fsmerr"
+	"fsmem/internal/parallel"
 )
 
 // FaultVerdict classifies what one fault plan did to one scheduler.
@@ -80,8 +83,22 @@ func SimulateChaos(cfg Config, plan *fault.Plan) (Result, error) {
 // unfaulted reference run, all with the same fixed duration, and classifies
 // each fault as detected, harmless, or undetected. The caller's
 // TargetReads/MaxBusCycles are overridden: verdicts need cycle-aligned
-// runs to compare per-domain command traces.
+// runs to compare per-domain command traces. Runs are sharded across a
+// GOMAXPROCS-wide worker pool; see RunCampaignContext for an explicit
+// worker count and cancellation.
 func RunCampaign(cfg Config, plans []*fault.Plan) (*CampaignResult, error) {
+	return RunCampaignContext(context.Background(), cfg, plans, 0)
+}
+
+// RunCampaignContext is RunCampaign over an explicit worker pool
+// (workers <= 0 selects the GOMAXPROCS default). Every run — the unfaulted
+// reference and each plan — is an independent cell: each simulation is a
+// pure function of its Config (the plans carry their own seeds), so the
+// campaign's outcomes are byte-identical for every worker count and
+// scheduling order. Verdict classification happens after the pool drains,
+// in plan order. Cancellation stops in-flight runs at their next watchdog
+// check and surfaces a CodeCanceled error.
+func RunCampaignContext(ctx context.Context, cfg Config, plans []*fault.Plan, workers int) (*CampaignResult, error) {
 	// A caller that explicitly prepared a fixed-duration config
 	// (TargetReads == 0 with a cycle bound) keeps its run length; any
 	// read-target config is converted to the standard campaign duration.
@@ -89,12 +106,41 @@ func RunCampaign(cfg Config, plans []*fault.Plan) (*CampaignResult, error) {
 		cfg.MaxBusCycles = CampaignCycles
 	}
 	cfg.TargetReads = 0
-
 	cfg.Fault = nil
-	ref, err := Simulate(cfg)
-	if err != nil {
-		return nil, fsmerr.Wrap(fsmerr.CodeFault, "sim.RunCampaign", err)
+
+	cells := make([]parallel.Cell[Result], 0, len(plans)+1)
+	base := cfg
+	cells = append(cells, parallel.Cell[Result]{
+		Key: "reference",
+		Run: func(ctx context.Context) (Result, error) {
+			res, err := SimulateContext(ctx, base)
+			if err != nil {
+				return Result{}, fsmerr.Wrap(fsmerr.CodeFault, "sim.RunCampaign", err)
+			}
+			return res, nil
+		},
+	})
+	for _, plan := range plans {
+		plan := plan
+		run := base
+		run.Fault = plan
+		cells = append(cells, parallel.Cell[Result]{
+			Key: "plan:" + plan.Name,
+			Run: func(ctx context.Context) (Result, error) {
+				res, err := SimulateContext(ctx, run)
+				if err != nil {
+					return Result{}, fsmerr.Wrap(fsmerr.CodeFault, "sim.RunCampaign("+plan.Name+")", err)
+				}
+				return res, nil
+			},
+		})
 	}
+	results, err := parallel.Map(ctx, workers, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	ref := results[0]
 	if ref.Monitor.Detected() {
 		return nil, fsmerr.New(fsmerr.CodeFault, "sim.RunCampaign",
 			"reference run of %s is not clean: %d timing, %d schedule, %d scheduler violations",
@@ -103,11 +149,8 @@ func RunCampaign(cfg Config, plans []*fault.Plan) (*CampaignResult, error) {
 	}
 
 	out := &CampaignResult{Scheduler: cfg.Scheduler.String(), Cycles: cfg.MaxBusCycles}
-	for _, plan := range plans {
-		res, err := SimulateChaos(cfg, plan)
-		if err != nil {
-			return nil, fsmerr.Wrap(fsmerr.CodeFault, "sim.RunCampaign("+plan.Name+")", err)
-		}
+	for i, plan := range plans {
+		res := results[i+1]
 		rep := res.Monitor
 		o := FaultOutcome{
 			Plan:                plan.Name,

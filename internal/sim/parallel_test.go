@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"fsmem/internal/fault"
+	"fsmem/internal/fsmerr"
+	"fsmem/internal/workload"
+)
+
+// TestRunCampaignWorkerEquivalence: the fault campaign's verdicts are
+// byte-identical whatever the pool width — each run is a pure function of
+// its Config and the plans carry their own seeds, so sharding the campaign
+// must not move a single counter.
+func TestRunCampaignWorkerEquivalence(t *testing.T) {
+	mix, err := workload.Rate("milc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(mix, FSRankPart)
+	cfg.Seed = 1
+	plans := fault.CampaignPlans(4, 7)
+
+	serial, err := RunCampaignContext(context.Background(), cfg, plans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunCampaignContext(context.Background(), cfg, plans, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("campaign verdicts diverged between 1 and 8 workers:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+	def, err := RunCampaign(cfg, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, serial) {
+		t.Fatal("RunCampaign (default workers) diverged from explicit pools")
+	}
+}
+
+// TestSimulateContextCanceled: a canceled context yields a structured
+// CodeCanceled error, never a partial Result a sweep could mistake for a
+// completed run.
+func TestSimulateContextCanceled(t *testing.T) {
+	mix, err := workload.Rate("milc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig(mix, FSRankPart)
+	cfg.TargetReads = 1_000_000 // far beyond what a canceled run may reach
+	_, err = SimulateContext(ctx, cfg)
+	if err == nil {
+		t.Fatal("canceled simulation returned no error")
+	}
+	if fsmerr.CodeOf(err) != fsmerr.CodeCanceled {
+		t.Fatalf("want CodeCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+// TestRunCampaignCanceled: cancellation mid-campaign drains the pool and
+// surfaces CodeCanceled instead of returning half-classified outcomes.
+func TestRunCampaignCanceled(t *testing.T) {
+	mix, err := workload.Rate("milc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(mix, FSRankPart)
+	cfg.Seed = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunCampaignContext(ctx, cfg, fault.CampaignPlans(4, 7), 4)
+	if err == nil {
+		t.Fatalf("canceled campaign returned outcomes: %+v", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

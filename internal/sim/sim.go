@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -413,13 +414,23 @@ func (s *System) pumpSpikes() {
 // watchdog, or the wall-clock budget, and returns the collected
 // statistics. A watchdog stop yields a partial Result with Truncated set
 // instead of an error: the statistics up to the stop are still valid.
-func (s *System) Run() Result {
+func (s *System) Run() Result { return s.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the context is polled on
+// the same cadence as the wall-clock watchdog, so a canceled sweep cell
+// stops within a few thousand bus cycles instead of stalling its worker
+// pool. Cancellation truncates the run exactly like a watchdog stop.
+func (s *System) RunContext(ctx context.Context) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	max := s.cfg.MaxBusCycles
 	if max == 0 {
 		max = 40_000_000
 	}
 	var res Result
 	start := time.Now()
+loop:
 	for {
 		if s.ctl.Cycle >= max {
 			// With TargetReads == 0 a fixed-duration run is intentional (the
@@ -432,11 +443,20 @@ func (s *System) Run() Result {
 			}
 			break
 		}
-		if s.cfg.WallClockBudget > 0 && s.ctl.Cycle%8192 == 0 && time.Since(start) > s.cfg.WallClockBudget {
-			res.Truncated = true
-			res.TruncateReason = fmt.Sprintf("wall-clock budget %v exhausted at bus cycle %d",
-				s.cfg.WallClockBudget, s.ctl.Cycle)
-			break
+		if s.ctl.Cycle%8192 == 0 {
+			if s.cfg.WallClockBudget > 0 && time.Since(start) > s.cfg.WallClockBudget {
+				res.Truncated = true
+				res.TruncateReason = fmt.Sprintf("wall-clock budget %v exhausted at bus cycle %d",
+					s.cfg.WallClockBudget, s.ctl.Cycle)
+				break
+			}
+			select {
+			case <-ctx.Done():
+				res.Truncated = true
+				res.TruncateReason = fmt.Sprintf("context canceled at bus cycle %d: %v", s.ctl.Cycle, ctx.Err())
+				break loop
+			default:
+			}
 		}
 		s.pumpSpikes()
 		s.Step()
@@ -473,9 +493,21 @@ func (s *System) totalReads() int64 {
 
 // Simulate is the one-call convenience: build and run.
 func Simulate(cfg Config) (Result, error) {
+	return SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation. A run cut
+// short by the context returns a CodeCanceled error rather than a
+// truncated Result: partial statistics from a canceled sweep cell must
+// never be mistaken for (or cached as) a completed experiment.
+func SimulateContext(ctx context.Context, cfg Config) (Result, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(), nil
+	res := s.RunContext(ctx)
+	if ctx != nil && ctx.Err() != nil && res.Truncated {
+		return Result{}, fsmerr.Wrap(fsmerr.CodeCanceled, "sim.SimulateContext", ctx.Err())
+	}
+	return res, nil
 }
