@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race fmt staticcheck bench bench-baseline benchdiff chaos sweep clean
+.PHONY: tier1 build vet test race fmt staticcheck bench bench-baseline benchdiff chaos sweep cover fuzz trace clean
+
+# COVER_FLOOR is the statement-coverage percentage `make cover` enforces;
+# FUZZTIME bounds each `make fuzz` target run.
+COVER_FLOOR ?= 70
+FUZZTIME ?= 30s
 
 # tier1 is the gate every change must pass: full build, vet, the test suite
 # (plain and under the race detector), and gofmt cleanliness. CI runs the
@@ -47,6 +52,29 @@ chaos:
 
 sweep:
 	$(GO) run ./cmd/sweep -fig all
+
+# cover measures statement coverage across every package (tests in one
+# package exercise code in others, hence -coverpkg=./...) and fails if the
+# total drops below COVER_FLOOR percent. Writes cover.out for tooling.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+	{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# fuzz runs both native fuzz targets (config parsing and trace-file
+# ingestion) for FUZZTIME each.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/config
+	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/trace
+
+# trace runs a small observed FS_BP simulation, exports the command stream,
+# and renders it as a per-cycle timeline — a quick smoke of the whole
+# observability path (tracer -> JSONL export -> tracedump).
+trace:
+	$(GO) run ./cmd/memsim -workload mcf -sched fs_bp -cores 2 -reads 200 -seed 7 -cmd-trace /tmp/fsmem-trace.jsonl
+	$(GO) run ./cmd/tracedump /tmp/fsmem-trace.jsonl
 
 clean:
 	$(GO) clean ./...

@@ -216,6 +216,40 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles), "bus_cycles/run")
 }
 
+// benchObserved runs the BenchmarkSimulatorThroughput workload with the
+// given observability options (nil = tracing compiled in but disabled).
+func benchObserved(b *testing.B, o *ObserveOptions) {
+	mix, err := workload.Rate("milc", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(mix, sim.Baseline)
+		cfg.TargetReads = 5000
+		if o != nil {
+			Observe(&cfg, *o)
+		}
+		res, err := sim.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Run.BusCycles
+	}
+	b.ReportMetric(float64(cycles), "bus_cycles/run")
+}
+
+// BenchmarkSimulateTraceOff is BenchmarkSimulatorThroughput with the tracer
+// hooks present but nil — the observability layer's zero-cost-when-off
+// claim. Its time must track BenchmarkSimulatorThroughput within noise.
+func BenchmarkSimulateTraceOff(b *testing.B) { benchObserved(b, nil) }
+
+// BenchmarkSimulateTraceOn runs the same workload with a live ring-buffer
+// tracer and metrics snapshot, bounding the cost of full observation.
+func BenchmarkSimulateTraceOn(b *testing.B) {
+	benchObserved(b, &ObserveOptions{TraceCap: 1 << 14})
+}
+
 // BenchmarkWeightedIPCMetric exercises the statistics path.
 func BenchmarkWeightedIPCMetric(b *testing.B) {
 	mix, err := workload.Rate("zeusmp", 8)

@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"fsmem"
+	"fsmem/internal/obs"
 )
 
 var schedNames = map[string]fsmem.SchedulerKind{
@@ -74,22 +75,41 @@ func main() {
 	seed := flag.Uint64("seed", 7, "fault-plan seed")
 	verbose := flag.Bool("v", false, "print stored violation details for detected faults")
 	workers := flag.Int("j", 0, "parallel campaign workers (0 = GOMAXPROCS); verdicts are identical for every value")
+	cycles := flag.Int64("cycles", 0, "fixed bus cycles per campaign run (0 = the standard 24k; the nightly CI job raises this)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	exectrace := flag.String("exectrace", "", "write a Go execution trace to this file")
 	flag.Parse()
 
-	var scheds []string
-	if *schedName == "all" {
-		scheds = keys()
-	} else if _, ok := schedNames[*schedName]; ok {
-		scheds = []string{*schedName}
-	} else {
-		fmt.Fprintf(os.Stderr, "unknown -sched %q (options: %s, all)\n", *schedName, strings.Join(keys(), ", "))
+	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(2)
 	}
+	// run does the work so the profilers flush before os.Exit.
+	code := run(*schedName, *wl, *cores, *seed, *cycles, *workers, *verbose)
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: profiling: %v\n", err)
+	}
+	os.Exit(code)
+}
 
-	mix, err := fsmem.RateWorkload(*wl, *cores)
+func run(schedName, wl string, cores int, seed uint64, cycles int64, workers int, verbose bool) int {
+
+	var scheds []string
+	if schedName == "all" {
+		scheds = keys()
+	} else if _, ok := schedNames[schedName]; ok {
+		scheds = []string{schedName}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown -sched %q (options: %s, all)\n", schedName, strings.Join(keys(), ", "))
+		return 2
+	}
+
+	mix, err := fsmem.RateWorkload(wl, cores)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	exit := 0
@@ -97,8 +117,14 @@ func main() {
 		k := schedNames[name]
 		cfg := fsmem.NewConfig(mix, k)
 		cfg.Seed = 1
-		plans := fsmem.StandardFaultPlans(*cores, *seed)
-		res, err := fsmem.RunFaultCampaignContext(context.Background(), cfg, plans, *workers)
+		if cycles > 0 {
+			// A fixed-duration config (TargetReads 0, MaxBusCycles set) is kept
+			// by the campaign instead of the standard 24k-cycle window.
+			cfg.TargetReads = 0
+			cfg.MaxBusCycles = cycles
+		}
+		plans := fsmem.StandardFaultPlans(cores, seed)
+		res, err := fsmem.RunFaultCampaignContext(context.Background(), cfg, plans, workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %s: %v\n", name, err)
 			exit = 1
@@ -129,7 +155,7 @@ func main() {
 		default:
 			fmt.Printf("  -> PASS: no undetected faults (TP, isolation only)\n\n")
 		}
-		if *verbose {
+		if verbose {
 			for _, o := range res.Outcomes {
 				if o.Verdict != fsmem.FaultDetected {
 					continue
@@ -138,5 +164,5 @@ func main() {
 			}
 		}
 	}
-	os.Exit(exit)
+	return exit
 }

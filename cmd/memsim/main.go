@@ -7,11 +7,20 @@
 //	memsim -workload mcf -sched fs_rp -reads 100000
 //	memsim -workload mix1 -sched baseline
 //	memsim -print-config
+//	memsim -cmd-trace run.jsonl -metrics     # observability outputs
+//
+// Observability: -cmd-trace exports the DRAM command/event stream as JSONL
+// (render with cmd/tracedump), -chrome-trace as a Chrome trace_event file
+// (load in Perfetto or chrome://tracing), -metrics prints the end-of-run
+// metrics snapshot. Profiling: -cpuprofile / -memprofile / -exectrace
+// write the standard Go profiles (-exectrace because -trace already names
+// the input memory-trace file).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,6 +28,7 @@ import (
 	"fsmem/internal/addr"
 	"fsmem/internal/config"
 	"fsmem/internal/energy"
+	"fsmem/internal/obs"
 	"fsmem/internal/trace"
 	"fsmem/internal/workload"
 )
@@ -50,7 +60,25 @@ func main() {
 	printConfig := flag.Bool("print-config", false, "print the Table 1 configuration and exit")
 	configIn := flag.String("config", "", "load the full experiment from this JSON file (overrides other flags)")
 	configOut := flag.String("save-config", "", "write the selected experiment as JSON and exit")
+	cmdTrace := flag.String("cmd-trace", "", "export the DRAM command/event trace as JSONL to this file")
+	chromeTrace := flag.String("chrome-trace", "", "export the command/event trace as Chrome trace_event JSON to this file")
+	traceCap := flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default)")
+	metrics := flag.Bool("metrics", false, "print the end-of-run metrics snapshot")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	exectrace := flag.String("exectrace", "", "write a Go execution trace to this file")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "memsim: profiling: %v\n", err)
+		}
+	}()
 
 	if *printConfig {
 		p := fsmem.DDR3x1600()
@@ -69,7 +97,6 @@ func main() {
 		os.Exit(2)
 	}
 	var mix fsmem.Mix
-	var err error
 	switch *wl {
 	case "mix1":
 		mix, err = fsmem.Mix1()
@@ -189,12 +216,37 @@ func main() {
 		}
 	}
 
+	if *cmdTrace != "" || *chromeTrace != "" || *metrics {
+		fsmem.Observe(&cfg, fsmem.ObserveOptions{TraceCap: *traceCap})
+	}
+
 	res, err := fsmem.Simulate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	run := res.Run
+
+	export := func(path, format string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = fsmem.TraceExport(f, res, format)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	export(*cmdTrace, "jsonl")
+	export(*chromeTrace, "chrome")
 
 	fmt.Printf("scheduler          %s\n", run.Scheduler)
 	fmt.Printf("workload           %s (%d domains)\n", run.Workload, len(run.Domains))
@@ -223,6 +275,11 @@ func main() {
 	for d, dom := range run.Domains {
 		fmt.Printf("  %3d  %.3f %8d %8d %8d %8d %8d %8.1f\n",
 			d, dom.IPC(), dom.Reads, dom.Writes, dom.Dummies, dom.Prefetches, dom.RowHits, dom.AvgReadLatency())
+	}
+
+	if *metrics {
+		fmt.Println("\nmetrics:")
+		io.WriteString(os.Stdout, res.Metrics.Format())
 	}
 }
 

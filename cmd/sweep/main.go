@@ -8,11 +8,17 @@
 //	sweep -fig 6 -reads 100000  # one figure, bigger budget
 //	sweep -fig 6 -detail        # include the §7 side statistics
 //	sweep -fig all -j 8         # shard the grid across 8 workers
+//	sweep -fig 3 -trace-out t.jsonl  # also export per-cell command traces
 //
 // The -j flag bounds the worker pool the simulation grid is sharded
 // across (0 = GOMAXPROCS). Output is byte-identical for every -j value:
 // the pool only decides when cells are computed, never what they contain
-// or the order they are printed in.
+// or the order they are printed in. The -trace-out export shares the same
+// guarantee (cells are emitted in sorted key order).
+//
+// Profiling: -cpuprofile, -memprofile, and -exectrace write the standard
+// Go profiles for the whole sweep (inspect with `go tool pprof` /
+// `go tool trace`).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"os"
 
 	"fsmem/internal/experiments"
+	"fsmem/internal/obs"
 )
 
 func main() {
@@ -31,25 +38,41 @@ func main() {
 	detail := flag.Bool("detail", false, "with -fig 6: also print latency/utilization/dummy statistics")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS); output is identical for every value")
+	traceOut := flag.String("trace-out", "", "export every memoized cell's command trace as JSONL to this file")
+	traceCap := flag.Int("trace-cap", 0, "per-run trace ring capacity in events (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	exectrace := flag.String("exectrace", "", "write a Go execution trace to this file")
 	flag.Parse()
-	render := func(t experiments.Table) string {
-		if *csv {
-			return t.CSV()
-		}
-		return t.Format()
-	}
 	fail := func(err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
+	fail(err)
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: profiling: %v\n", err)
+		}
+	}()
+	render := func(t experiments.Table) string {
+		if *csv {
+			return t.CSV()
+		}
+		return t.Format()
+	}
 	show := func(t experiments.Table, err error) {
 		fail(err)
 		fmt.Println(render(t))
 	}
 
-	r := experiments.NewRunner(experiments.Settings{Cores: *cores, TargetReads: *reads, Seed: *seed, Workers: *workers})
+	settings := experiments.Settings{Cores: *cores, TargetReads: *reads, Seed: *seed, Workers: *workers}
+	if *traceOut != "" {
+		settings.Observe = &obs.Options{TraceCap: *traceCap}
+	}
+	r := experiments.NewRunner(settings)
 	switch *fig {
 	case "all":
 		tables, err := experiments.All(r)
@@ -92,5 +115,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q (options: %v, all)\n", *fig, experiments.Names())
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		err = r.ExportTraces(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fail(err)
 	}
 }

@@ -1,0 +1,46 @@
+// Command tracedump renders a JSONL command/event trace (produced by
+// memsim -cmd-trace, sweep -trace-out, or fsmem.TraceExport) as a
+// human-readable per-cycle timeline.
+//
+// Usage:
+//
+//	tracedump run.jsonl
+//	memsim -workload mcf -sched fs_bp -cmd-trace /dev/stdout | tracedump -
+//
+// Multi-trace exports (sweep -trace-out concatenates one JSONL document
+// per grid cell, each preceded by a {"cell":...} label line) are rendered
+// as consecutive timelines with their cell labels as headers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracedump <trace.jsonl | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := render(in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"fsmem/internal/obs"
+)
+
+// render converts one or more concatenated JSONL trace documents into
+// per-cycle timelines. A plain export (memsim -cmd-trace) is a single
+// document; a sweep -trace-out export interleaves {"cell":...} label lines
+// between documents, which become section headers. Factored out of main
+// for the golden-file test.
+func render(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var doc strings.Builder
+	sections, rendered := 0, 0
+	flush := func() error {
+		if doc.Len() == 0 {
+			return nil
+		}
+		events, err := obs.ReadJSONL(strings.NewReader(doc.String()))
+		doc.Reset()
+		if err != nil {
+			return err
+		}
+		rendered++
+		return obs.Timeline(out, events)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, `{"cell":`) {
+			if err := flush(); err != nil {
+				return err
+			}
+			var label struct {
+				Cell string `json:"cell"`
+			}
+			if err := json.Unmarshal([]byte(line), &label); err != nil {
+				return fmt.Errorf("tracedump: cell label: %w", err)
+			}
+			if sections > 0 {
+				fmt.Fprintln(out)
+			}
+			if _, err := fmt.Fprintf(out, "== %s ==\n", label.Cell); err != nil {
+				return err
+			}
+			sections++
+			continue
+		}
+		if strings.HasPrefix(line, `{"fsmem_trace":`) && doc.Len() > 0 {
+			// A new header without a cell label: concatenated plain documents.
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		doc.WriteString(line)
+		doc.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if rendered == 0 {
+		return fmt.Errorf("tracedump: input contains no trace")
+	}
+	return nil
+}

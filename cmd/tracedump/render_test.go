@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRenderGolden renders a checked-in FS_BP trace (memsim -workload mcf
+// -sched fs_bp -cores 2 -reads 120 -seed 7 -trace-cap 512) and compares
+// against the golden timeline. Regenerate both files with the same memsim
+// invocation plus `go run ./cmd/tracedump` if the trace format changes.
+func TestRenderGolden(t *testing.T) {
+	in, err := os.Open("testdata/fs_bp_small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	want, err := os.ReadFile("testdata/fs_bp_small.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := render(in, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("timeline differs from golden file (got %d bytes, want %d);\nfirst got lines:\n%s",
+			got.Len(), len(want), firstLines(got.String(), 5))
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestRenderMultiDocument checks the sweep -trace-out shape: cell label
+// lines become section headers between per-cell timelines.
+func TestRenderMultiDocument(t *testing.T) {
+	in := strings.Join([]string{
+		`{"cell":"{workload:A sched:0}"}`,
+		`{"fsmem_trace":1,"events":1,"dropped":0}`,
+		`{"c":5,"k":"cmd","dom":0,"cmd":"ACT","rank":1,"bank":2,"row":3,"col":0,"arg":0,"sup":0,"w":0}`,
+		`{"cell":"{workload:B sched:3}"}`,
+		`{"fsmem_trace":1,"events":1,"dropped":0}`,
+		`{"c":9,"k":"slot","dom":1,"cmd":"","rank":0,"bank":0,"row":0,"col":0,"arg":2,"sup":0,"w":0}`,
+	}, "\n") + "\n"
+	var got bytes.Buffer
+	if err := render(strings.NewReader(in), &got); err != nil {
+		t.Fatal(err)
+	}
+	out := got.String()
+	for _, want := range []string{
+		"== {workload:A sched:0} ==",
+		"== {workload:B sched:3} ==",
+		"cycle          5  dom0   ACT  r1/b2/row3",
+		"cycle          9  dom1   slot substituted: skip",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multi-doc render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "workload:A") > strings.Index(out, "workload:B") {
+		t.Fatal("sections rendered out of order")
+	}
+}
+
+// TestRenderRejectsCorruption: a corrupted document must error, not render
+// an empty timeline.
+func TestRenderRejectsCorruption(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":        "",
+		"unknown kind": "{\"fsmem_trace\":1,\"events\":1,\"dropped\":0}\n{\"c\":1,\"k\":\"zzz\"}\n",
+		"bad label":    "{\"cell\":\n",
+	} {
+		var out bytes.Buffer
+		if err := render(strings.NewReader(in), &out); err == nil {
+			t.Errorf("%s: rendered without error", name)
+		}
+	}
+}

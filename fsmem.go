@@ -30,6 +30,7 @@ package fsmem
 
 import (
 	"context"
+	"io"
 
 	"fsmem/internal/addr"
 	"fsmem/internal/core"
@@ -39,6 +40,7 @@ import (
 	"fsmem/internal/fault"
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/leakage"
+	"fsmem/internal/obs"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
 	"fsmem/internal/workload"
@@ -183,6 +185,43 @@ type FigureTable = experiments.Table
 // (0 = GOMAXPROCS); the tables are byte-identical for every worker count.
 func RunFigures(s ExperimentSettings) ([]FigureTable, error) {
 	return experiments.All(experiments.NewRunner(s))
+}
+
+// ObserveOptions configures the observability layer: a bounded ring-buffer
+// command/event tracer plus an end-of-run metrics snapshot.
+type ObserveOptions = obs.Options
+
+// TraceEvent is one recorded tracer event.
+type TraceEvent = obs.Event
+
+// MetricsSnapshot is the sorted end-of-run metrics set.
+type MetricsSnapshot = obs.Snapshot
+
+// Observe attaches the observability layer to a configuration: the run
+// returns Result.Trace (the command/event ring) and Result.Metrics (the
+// end-of-run snapshot). The zero ObserveOptions selects the default trace
+// capacity. Observation never alters simulated behavior: with Observe
+// unset, instrumentation costs a single nil-check per site.
+func Observe(cfg *Config, o ObserveOptions) { cfg.Observe = &o }
+
+// TraceExport writes a run's command/event trace in the named format:
+// "jsonl" (the tracer's native line format, readable by cmd/tracedump) or
+// "chrome" (a Chrome trace_event JSON array loadable in Perfetto or
+// chrome://tracing). The run must have been configured with Observe.
+func TraceExport(w io.Writer, res Result, format string) error {
+	if res.Trace == nil {
+		return fsmerr.New(fsmerr.CodeConfig, "fsmem.TraceExport",
+			"run has no trace: configure it with fsmem.Observe before simulating")
+	}
+	switch format {
+	case "jsonl":
+		return obs.WriteJSONL(w, res.Trace)
+	case "chrome":
+		return obs.WriteChrome(w, res.Trace)
+	default:
+		return fsmerr.New(fsmerr.CodeConfig, "fsmem.TraceExport",
+			"unknown trace format %q (want \"jsonl\" or \"chrome\")", format)
+	}
 }
 
 // LeakageProfile is an attacker execution profile (Figure 4).

@@ -113,6 +113,9 @@ func (e Experiment) ToSimConfig() (sim.Config, error) {
 	if cores == 0 {
 		cores = 8
 	}
+	if cores < 1 || cores > workload.MaxCores {
+		return sim.Config{}, fmt.Errorf("config: cores %d out of range [1, %d]", e.Cores, workload.MaxCores)
+	}
 	var mix workload.Mix
 	var err error
 	switch e.Workload {

@@ -1,0 +1,44 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad drives the JSON experiment parser with arbitrary bytes: it must
+// never panic, and anything it accepts must survive a save/load round trip
+// and a ToSimConfig call (which validates or rejects, never panics).
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(`{"workload":"mcf","cores":8,"scheduler":"fs_rp","reads":1000,"seed":42}`))
+	f.Add([]byte(`{"workload":"mix1","scheduler":"baseline","dram":"ddr4-2400"}`))
+	f.Add([]byte(`{"workload":"milc","cores":2,"scheduler":"tp_bp","tp_turn_length":25}`))
+	f.Add([]byte(`{"workload":"mcf","scheduler":"fs_bp","sla_weights":[2,1],"energy_opts":{"suppress_dummies":true}}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"cores":-1,"reads":-5,"scheduler":"fs_rp","workload":"mcf"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted experiments must be re-serializable...
+		var buf strings.Builder
+		if err := e.Save(&buf); err != nil {
+			t.Fatalf("accepted experiment failed to save: %v", err)
+		}
+		e2, err := Load(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("saved experiment failed to reload: %v\n%s", err, buf.String())
+		}
+		if e2.Scheduler != e.Scheduler || e2.Workload != e.Workload || e2.Cores != e.Cores {
+			t.Fatalf("round trip changed the experiment: %+v vs %+v", e, e2)
+		}
+		// ...and conversion must classify, never panic (errors are fine:
+		// unknown workloads/schedulers are data, not bugs).
+		_, _ = e.ToSimConfig()
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"fsmem/internal/dram"
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/mem"
+	"fsmem/internal/obs"
 	"fsmem/internal/trace"
 )
 
@@ -464,6 +465,7 @@ func (f *FS) planSlot(c *mem.Controller, s int64) {
 				f.Stats.PowerDownCycles[r] += f.q - int64(f.p.TXP)
 			}
 			c.Dom[domain].Dummies++ // the slot is still consumed
+			c.Obs.DummySlot(domain, anchor, obs.SlotPowerDown)
 			return
 		}
 		req = f.dummyRequest(c, domain, group, elig)
@@ -471,8 +473,10 @@ func (f *FS) planSlot(c *mem.Controller, s int64) {
 			// No safe bank this slot (transient hazard): skip silently; the
 			// slot grid is unchanged so nothing is revealed.
 			c.Dom[domain].Dummies++
+			c.Obs.DummySlot(domain, anchor, obs.SlotSkip)
 			return
 		}
+		c.Obs.DummySlot(domain, anchor, obs.SlotDummy)
 	}
 	f.scheduleTransaction(c, req, anchor, 0, anchor)
 }
@@ -507,6 +511,7 @@ func (f *FS) planRefresh(c *mem.Controller, domain int, anchor int64) bool {
 		}
 		f.Refreshes++
 		c.Dom[domain].Dummies++ // the slot is consumed without a transaction
+		c.Obs.DummySlot(domain, refCycle, obs.SlotRefresh)
 		return true
 	}
 	return false
@@ -764,10 +769,12 @@ func (f *FS) planReorderedInterval(c *mem.Controller, interval int64) {
 		req := f.selectRequest(c, d, elig)
 		if req == nil {
 			req = f.dummyRequest(c, d, -1, elig)
-		}
-		if req == nil {
-			c.Dom[d].Dummies++
-			continue
+			if req == nil {
+				c.Dom[d].Dummies++
+				c.Obs.DummySlot(d, checkAnchor, obs.SlotSkip)
+				continue
+			}
+			c.Obs.DummySlot(d, checkAnchor, obs.SlotDummy)
 		}
 		if req.Write {
 			writes = append(writes, req)
@@ -790,4 +797,21 @@ func (f *FS) planReorderedInterval(c *mem.Controller, interval int64) {
 		f.scheduleTransaction(c, w, anchor, 0, lastAnchor)
 		slot++
 	}
+}
+
+// ObsMetrics contributes the scheduler's static grid parameters and
+// energy-optimization tallies to an observability snapshot (structurally
+// satisfies obs.MetricSource).
+func (f *FS) ObsMetrics(emit func(name string, value float64)) {
+	emit("slot_width", float64(f.l))
+	emit("interval", float64(f.q))
+	emit("domains", float64(f.domains))
+	emit("refreshes", float64(f.Refreshes))
+	emit("row_hit_boosts", float64(f.Stats.RowHitBoosts))
+	emit("power_down_slots", float64(f.Stats.PowerDownSlots))
+	var pd int64
+	for _, c := range f.Stats.PowerDownCycles {
+		pd += c
+	}
+	emit("power_down_cycles", float64(pd))
 }

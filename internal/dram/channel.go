@@ -65,6 +65,24 @@ type Counters struct {
 	PowerDowns, PowerUps                              int64
 }
 
+// ObsMetrics contributes the channel counters to an observability snapshot
+// (structurally satisfies obs.MetricSource without importing it).
+func (c Counters) ObsMetrics(emit func(name string, value float64)) {
+	emit("acts", float64(c.Acts))
+	emit("reads", float64(c.Reads))
+	emit("writes", float64(c.Writes))
+	emit("precharges", float64(c.Precharges))
+	emit("refreshes", float64(c.Refreshes))
+	emit("suppressed_acts", float64(c.SuppressedActs))
+	emit("suppressed_reads", float64(c.SuppressedReads))
+	emit("suppressed_writes", float64(c.SuppressedWrites))
+	emit("suppressed_precharges", float64(c.SuppressedPrecharges))
+	emit("cmd_bus_busy", float64(c.CmdBusBusy))
+	emit("data_bus_busy", float64(c.DataBusBusy))
+	emit("power_downs", float64(c.PowerDowns))
+	emit("power_ups", float64(c.PowerUps))
+}
+
 // Channel models one DDR3 channel: its command bus, data bus, and the
 // ranks/banks behind them. The zero value is not usable; use NewChannel.
 type Channel struct {

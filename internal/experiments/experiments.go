@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"fsmem/internal/energy"
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/leakage"
+	"fsmem/internal/obs"
 	"fsmem/internal/parallel"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
@@ -104,6 +106,12 @@ type Settings struct {
 	// (0 = GOMAXPROCS). Every table is byte-identical for every value; 1
 	// is the serial path.
 	Workers int
+
+	// Observe, when non-nil, attaches a per-run tracer and metrics snapshot
+	// to every simulated cell (each run gets its own tracer, so parallel
+	// cell fills never share observability state and worker count cannot
+	// perturb what a cell records). Export with Runner.ExportTraces.
+	Observe *obs.Options
 }
 
 // DefaultSettings returns the 8-core evaluation configuration.
@@ -172,6 +180,7 @@ func (r *Runner) configFor(sp Spec) (sim.Config, runKey) {
 	cfg := sim.DefaultConfig(sp.Mix, sp.Kind)
 	cfg.Seed = r.S.Seed
 	cfg.TargetReads = r.S.TargetReads
+	cfg.Observe = r.S.Observe
 	if sp.Mutate != nil {
 		sp.Mutate(&cfg)
 	}
@@ -283,6 +292,37 @@ func (r *Runner) weighted(mix workload.Mix, k sim.SchedulerKind, mutate func(*si
 }
 
 func (r *Runner) suite() ([]workload.Mix, error) { return workload.EvaluationSuite(r.S.Cores) }
+
+// ExportTraces writes the command traces of every successfully memoized
+// cell as concatenated JSONL documents, each preceded by a cell-label
+// line. Cells are emitted in sorted key order, so the output bytes are
+// independent of the worker count and fill order that populated the cache
+// — the determinism CI job diffs this output across -j values.
+func (r *Runner) ExportTraces(w io.Writer) error {
+	r.mu.Lock()
+	type cell struct {
+		label string
+		v     cellValue
+	}
+	cells := make([]cell, 0, len(r.cache))
+	for k, v := range r.cache {
+		cells = append(cells, cell{label: fmt.Sprintf("%+v", k), v: v})
+	}
+	r.mu.Unlock()
+	sort.Slice(cells, func(i, j int) bool { return cells[i].label < cells[j].label })
+	for _, c := range cells {
+		if c.v.err != nil || c.v.res.Trace == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "{\"cell\":%q}\n", c.label); err != nil {
+			return err
+		}
+		if err := obs.WriteJSONL(w, c.v.res.Trace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // weightedSpecs builds the prefetch grid for figures that normalize each
 // scheme against the non-secure baseline on the same mix.

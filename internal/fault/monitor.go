@@ -56,6 +56,20 @@ type Report struct {
 	FaultedDomains []int
 }
 
+// ObsMetrics contributes the verification verdict counters to an
+// observability snapshot (structurally satisfies obs.MetricSource).
+func (r *Report) ObsMetrics(emit func(name string, value float64)) {
+	emit("commands", float64(r.Commands))
+	emit("timing_violations", float64(r.TimingViolations))
+	emit("schedule_violations", float64(r.ScheduleViolations))
+	emit("scheduler_violations", float64(r.SchedulerViolations))
+	emit("injected_drops", float64(r.Injected.Drops))
+	emit("injected_delays", float64(r.Injected.Delays))
+	emit("injected_duplicates", float64(r.Injected.Duplicates))
+	emit("injected_extras", float64(r.Injected.Extras))
+	emit("injected_replay_rejects", float64(r.Injected.ReplayRejects))
+}
+
 // Ok reports whether the monitor saw a perfectly clean run.
 func (r *Report) Ok() bool {
 	return r.TimingViolations == 0 && r.ScheduleViolations == 0 && r.SchedulerViolations == 0

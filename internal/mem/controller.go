@@ -12,6 +12,7 @@ import (
 	"fsmem/internal/dram"
 	"fsmem/internal/fault"
 	"fsmem/internal/fsmerr"
+	"fsmem/internal/obs"
 	"fsmem/internal/prefetch"
 	"fsmem/internal/stats"
 )
@@ -90,6 +91,17 @@ type Controller struct {
 	// LatHist collects per-domain demand-read latency distributions.
 	LatHist []*stats.Histogram
 
+	// Obs is the optional command/event tracer (nil = off; every Tracer
+	// method nil-checks, so instrumentation costs one branch when unset).
+	Obs *obs.Tracer
+
+	// Observability counters (plain fields, snapshotted by ObsMetrics):
+	// enqueues the controller had to reject because a domain's queue was
+	// full, and retirements by class.
+	RejectedReads  obs.Counter
+	RejectedWrites obs.Counter
+	Retired        obs.Counter
+
 	sched       Scheduler
 	completions completionHeap
 
@@ -160,8 +172,11 @@ func (c *Controller) EnqueueRead(domain int, a dram.Address, done func()) bool {
 		}
 	}
 	if len(c.ReadQ[domain]) >= c.Cfg.ReadCap {
+		c.RejectedReads.Inc()
+		c.Obs.QueueFull(domain, c.Cycle, false)
 		return false
 	}
+	c.Obs.Enqueue(domain, a, c.Cycle)
 	c.ReadQ[domain] = append(c.ReadQ[domain], &Request{
 		Domain: domain, Addr: a, Arrive: c.Cycle, FirstCmd: -1, DataEnd: -1, done: done,
 	})
@@ -172,6 +187,8 @@ func (c *Controller) EnqueueRead(domain int, a dram.Address, done func()) bool {
 // full.
 func (c *Controller) EnqueueWrite(domain int, a dram.Address) bool {
 	if len(c.WriteQ[domain]) >= c.Cfg.WriteCap {
+		c.RejectedWrites.Inc()
+		c.Obs.QueueFull(domain, c.Cycle, true)
 		return false
 	}
 	c.WriteQ[domain] = append(c.WriteQ[domain], &Request{
@@ -221,7 +238,11 @@ func (c *Controller) IssueSuppressed(cmd dram.Command) error {
 
 func (c *Controller) issue(cmd dram.Command, suppressed bool) error {
 	if c.mon == nil && c.inj == nil {
-		return c.Chan.IssueEx(cmd, c.Cycle, suppressed)
+		if err := c.Chan.IssueEx(cmd, c.Cycle, suppressed); err != nil {
+			return err
+		}
+		c.Obs.Command(cmd, c.Cycle, suppressed)
+		return nil
 	}
 	// FR-FCFS-style schedulers probe with Issue and treat an error as
 	// back-off, so only a command that would legally issue counts as
@@ -246,6 +267,7 @@ func (c *Controller) issue(cmd dram.Command, suppressed bool) error {
 	if err := c.Chan.IssueEx(cmd, c.Cycle, suppressed); err != nil {
 		return err
 	}
+	c.Obs.Command(cmd, c.Cycle, suppressed)
 	if c.mon != nil {
 		c.mon.Applied(cmd, c.Cycle, suppressed)
 	}
@@ -270,6 +292,7 @@ func (c *Controller) RecordFirstCommand(req *Request) {
 	req.FirstCmd = c.Cycle
 	if !req.Dummy && !req.Prefetch {
 		c.Dom[req.Domain].QueueDelaySum += c.Cycle - req.Arrive
+		c.Obs.FirstCommand(req.Domain, req.Addr, c.Cycle, c.Cycle-req.Arrive, req.Write)
 	}
 }
 
@@ -289,6 +312,7 @@ func (c *Controller) Tick() {
 				c.inj.Stats.ReplayRejects++
 				continue
 			}
+			c.Obs.Command(tc.Cmd, c.Cycle, false)
 			if c.mon != nil {
 				c.mon.Applied(tc.Cmd, c.Cycle, false)
 			}
@@ -299,12 +323,15 @@ func (c *Controller) Tick() {
 }
 
 func (c *Controller) finish(req *Request) {
+	c.Retired.Inc()
 	d := &c.Dom[req.Domain]
 	switch {
 	case req.Dummy:
 		d.Dummies++
+		c.Obs.Complete(obs.EvDummy, req.Domain, req.Addr, c.Cycle, 0)
 	case req.Prefetch:
 		d.Prefetches++
+		c.Obs.Complete(obs.EvPrefetchFill, req.Domain, req.Addr, c.Cycle, 0)
 		if c.pfBuf != nil {
 			buf := c.pfBuf[req.Domain]
 			if len(buf) >= c.Cfg.PrefetchBufCap {
@@ -322,11 +349,13 @@ func (c *Controller) finish(req *Request) {
 		}
 	case req.Write:
 		d.Writes++
+		c.Obs.Complete(obs.EvWriteDone, req.Domain, req.Addr, c.Cycle, 0)
 	default:
 		d.Reads++
 		d.ReadLatencySum += c.Cycle - req.Arrive
 		d.ReadLatencyCount++
 		c.LatHist[req.Domain].Observe(c.Cycle - req.Arrive)
+		c.Obs.Complete(obs.EvDeliver, req.Domain, req.Addr, c.Cycle, c.Cycle-req.Arrive)
 		if c.mon != nil {
 			c.mon.ReadCompleted(req.Domain, c.Cycle)
 		}
@@ -407,4 +436,14 @@ func (c *Controller) PendingWrites() int {
 // Drained reports whether no work remains anywhere in the controller.
 func (c *Controller) Drained() bool {
 	return c.PendingReads() == 0 && c.PendingWrites() == 0 && len(c.completions) == 0
+}
+
+// ObsMetrics contributes the controller-shell counters to an obs.Registry
+// snapshot (structural obs.MetricSource; see DESIGN.md §9).
+func (c *Controller) ObsMetrics(emit func(name string, value float64)) {
+	emit("read_queue_rejects", float64(c.RejectedReads.Value()))
+	emit("write_buffer_rejects", float64(c.RejectedWrites.Value()))
+	emit("retired", float64(c.Retired.Value()))
+	emit("pending_reads", float64(c.PendingReads()))
+	emit("pending_writes", float64(c.PendingWrites()))
 }

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiling turns on whichever of the three Go profilers the caller
+// named (empty path = off) and returns a stop function that flushes and
+// closes them. The command-line tools share it so -cpuprofile /
+// -memprofile / execution-trace flags behave identically everywhere.
+//
+// The CPU profile and execution trace run from this call until stop; the
+// heap profile is written at stop time (after a GC, so it reflects live
+// memory, not transient garbage).
+func StartProfiling(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}

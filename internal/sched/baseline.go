@@ -205,3 +205,15 @@ func (b *Baseline) tickRefresh(c *mem.Controller) bool {
 	}
 	return false
 }
+
+// ObsMetrics contributes the policy's live state to an observability
+// snapshot (structurally satisfies obs.MetricSource).
+func (b *Baseline) ObsMetrics(emit func(name string, value float64)) {
+	emit("drain_high_watermark", float64(b.hi))
+	emit("drain_low_watermark", float64(b.lo))
+	draining := 0.0
+	if b.draining {
+		draining = 1
+	}
+	emit("draining", draining)
+}

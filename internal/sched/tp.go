@@ -205,3 +205,13 @@ func (t *TP) issueCAS(c *mem.Controller, req *mem.Request) bool {
 	c.CompleteAt(req, req.DataEnd)
 	return true
 }
+
+// ObsMetrics contributes the policy's configuration and live state to an
+// observability snapshot (structurally satisfies obs.MetricSource).
+func (t *TP) ObsMetrics(emit func(name string, value float64)) {
+	emit("turn_length", float64(t.TurnLength))
+	emit("reserve", float64(t.Res))
+	emit("intra_spacing", float64(t.Intra))
+	emit("domains", float64(t.domains))
+	emit("inflight", float64(len(t.started)))
+}

@@ -17,6 +17,7 @@ import (
 	"fsmem/internal/fault"
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/mem"
+	"fsmem/internal/obs"
 	"fsmem/internal/prefetch"
 	"fsmem/internal/sched"
 	"fsmem/internal/stats"
@@ -147,6 +148,12 @@ type Config struct {
 	TargetReads int64
 	// MaxBusCycles is a safety stop.
 	MaxBusCycles int64
+
+	// Observe, when non-nil, attaches the observability layer: a bounded
+	// command/event tracer on the controller and a metrics snapshot built at
+	// end of run. Nil keeps the hot path at a single nil-check per
+	// instrumentation site (see internal/obs).
+	Observe *obs.Options
 }
 
 // DefaultConfig returns an 8-core Table 1 configuration for the given mix
@@ -178,6 +185,13 @@ type Result struct {
 	// are partial but internally consistent.
 	Truncated      bool
 	TruncateReason string
+
+	// Metrics is the end-of-run observability snapshot (nil unless
+	// Config.Observe was set).
+	Metrics obs.Snapshot
+	// Trace is the bounded command/event trace (nil unless Config.Observe
+	// was set). Export it with obs.WriteJSONL or obs.WriteChrome.
+	Trace *obs.Tracer
 }
 
 // spikeState tracks one pending queue-pressure spike: extra demand reads
@@ -257,6 +271,9 @@ func New(cfg Config) (*System, error) {
 	}
 
 	ctl := mem.NewController(cfg.DRAM, mcfg, policy)
+	if cfg.Observe != nil {
+		ctl.Obs = obs.NewTracer(cfg.Observe)
+	}
 	if cfg.Prefetch {
 		ctl.EnablePrefetch(func(int) *prefetch.Sandbox { return prefetch.New(cfg.DRAM) })
 	}
@@ -351,6 +368,7 @@ func (s *System) Reconfigure(weights []int) error {
 	// Drain in two phases: first let queued demand transactions finish
 	// under the old schedule (cores stalled), then quiesce slot planning so
 	// the pipeline itself empties.
+	s.ctl.Obs.Reconfigure(s.ctl.Cycle, obs.ReconfigBegin)
 	deadline := s.ctl.Cycle + 4_000_000
 	for s.ctl.PendingReads() > 0 || s.ctl.PendingWrites() > 0 {
 		s.ctl.Tick()
@@ -373,6 +391,7 @@ func (s *System) Reconfigure(weights []int) error {
 			return e
 		}
 	}
+	s.ctl.Obs.Reconfigure(s.ctl.Cycle, obs.ReconfigDrained)
 	newCfg.StartCycle = s.ctl.Cycle + 1
 	fs, err := core.NewFS(s.cfg.DRAM, newCfg)
 	if err != nil {
@@ -384,6 +403,7 @@ func (s *System) Reconfigure(weights []int) error {
 	s.fs = fs
 	s.ctl.SetScheduler(fs)
 	s.cfg.SLAWeights = weights
+	s.ctl.Obs.Reconfigure(s.ctl.Cycle, obs.ReconfigDone)
 	return nil
 }
 
@@ -480,7 +500,41 @@ loop:
 	res.Run = run
 	res.FS = fsStats
 	res.Monitor = s.mon.Finalize(s.inj)
+	if s.ctl.Obs != nil {
+		res.Trace = s.ctl.Obs
+		res.Metrics = s.buildMetrics(&res)
+	}
 	return res
+}
+
+// buildMetrics assembles the end-of-run observability snapshot. The
+// registry is built here, outside the cycle loop, so observation costs
+// nothing per cycle: every subsystem contributes its plain counters once.
+func (s *System) buildMetrics(res *Result) obs.Snapshot {
+	reg := obs.NewRegistry()
+	reg.Source("sim", obs.SourceFunc(func(emit func(string, float64)) {
+		emit("bus_cycles", float64(s.ctl.Cycle))
+		truncated := 0.0
+		if res.Truncated {
+			truncated = 1
+		}
+		emit("truncated", truncated)
+		emit("trace_events", float64(len(s.ctl.Obs.Events())))
+		emit("trace_dropped", float64(s.ctl.Obs.Dropped()))
+	}))
+	reg.Source("dram", s.ctl.Chan.Counters)
+	reg.Source("mem", s.ctl)
+	if s.fs != nil {
+		// The FS engine IS the scheduler; one registration under "fs".
+		reg.Source("fs", s.fs)
+	} else if src, ok := s.ctl.Scheduler().(obs.MetricSource); ok {
+		reg.Source("sched", src)
+	}
+	for d := range s.ctl.Dom {
+		reg.Source(fmt.Sprintf("dom%d", d), s.ctl.Dom[d])
+	}
+	reg.Source("monitor", res.Monitor)
+	return reg.Snapshot()
 }
 
 func (s *System) totalReads() int64 {

@@ -52,6 +52,22 @@ func (d Domain) DummyFraction() float64 {
 	return float64(d.Dummies) / float64(total)
 }
 
+// ObsMetrics contributes the domain's accumulators and derived metrics to
+// an observability snapshot (structurally satisfies obs.MetricSource).
+func (d Domain) ObsMetrics(emit func(name string, value float64)) {
+	emit("instructions", float64(d.Instructions))
+	emit("cpu_cycles", float64(d.CPUCycles))
+	emit("reads", float64(d.Reads))
+	emit("writes", float64(d.Writes))
+	emit("dummies", float64(d.Dummies))
+	emit("prefetches", float64(d.Prefetches))
+	emit("useful_prefetches", float64(d.UsefulPrefetches))
+	emit("row_hits", float64(d.RowHits))
+	emit("queue_delay_sum", float64(d.QueueDelaySum))
+	emit("ipc", d.IPC())
+	emit("avg_read_latency", d.AvgReadLatency())
+}
+
 // Run is the complete result of one simulation.
 type Run struct {
 	Scheduler string

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace drives the USIMM-like trace parser with arbitrary bytes:
+// it must never panic, and any stream it accepts must survive a
+// write/read round trip unchanged.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte("# fsmem trace v1: gap R|W rank bank row col\n10 R 0 1 17 3\n0 W 1 7 100 127\n"))
+	f.Add([]byte("0 R 0 0 0 0\n"))
+	f.Add([]byte("5 X 0 0 0 0\n"))
+	f.Add([]byte("-1 R 0 0 0 0\n"))
+	f.Add([]byte("1 R 0 0 0\n"))
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("99999999999999999999 R 0 0 0 0\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := WriteTrace(&buf, refs); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		refs2, err := ReadTrace(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("serialized trace failed to reparse: %v\n%s", err, buf.String())
+		}
+		if len(refs2) != len(refs) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(refs), len(refs2))
+		}
+		for i := range refs {
+			if refs[i] != refs2[i] {
+				t.Fatalf("record %d changed in round trip: %+v vs %+v", i, refs[i], refs2[i])
+			}
+		}
+	})
+}

@@ -132,8 +132,16 @@ type Mix struct {
 	Profiles []Profile
 }
 
+// MaxCores bounds the number of domains a mix may describe. The paper's
+// largest configuration is 16 cores; 512 leaves room for scaling studies
+// while keeping untrusted configs from requesting absurd allocations.
+const MaxCores = 512
+
 // Rate builds the paper's rate-mode workload: n copies of one benchmark.
 func Rate(name string, n int) (Mix, error) {
+	if n < 1 || n > MaxCores {
+		return Mix{}, fmt.Errorf("workload: core count %d out of range [1, %d]", n, MaxCores)
+	}
 	p, err := ByName(name)
 	if err != nil {
 		return Mix{}, err
