@@ -6,13 +6,19 @@
 package fsmem
 
 import (
+	"context"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"fsmem/internal/addr"
+	"fsmem/internal/config"
 	"fsmem/internal/core"
 	"fsmem/internal/dram"
 	"fsmem/internal/experiments"
 	"fsmem/internal/leakage"
+	"fsmem/internal/server"
+	"fsmem/internal/server/client"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
 	"fsmem/internal/workload"
@@ -376,3 +382,49 @@ func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
 
 // BenchmarkSweepParallel8 shards the sweep across 8 workers.
 func BenchmarkSweepParallel8(b *testing.B) { benchSweep(b, 8) }
+
+// BenchmarkServerCacheHit times the daemon's warmed hot path: an
+// identical POST /v1/jobs answered from the result cache plus the GET
+// of its cached document, through a real HTTP round trip. The paper
+// grid is regenerated often with identical configs, so this path must
+// stay well under 10ms per request.
+func BenchmarkServerCacheHit(b *testing.B) {
+	s := server.New(server.Options{Workers: 1, RatePerSec: 1e9})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		s.Drain(context.Background())
+		ts.Close()
+	}()
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	e := config.Default()
+	e.Workload = "mcf"
+	e.Scheduler = "fs_bp"
+	e.Cores = 2
+	e.Reads = 500
+	req := server.JobRequest{Kind: server.KindSimulate, Simulate: &e}
+
+	// Warm the cache with the one real simulation.
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st, err = cl.Wait(ctx, st.ID, time.Millisecond); err != nil || st.State != server.StateDone {
+		b.Fatalf("warmup: %v (state %s)", err, st.State)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := cl.Submit(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.State.Terminal() {
+			b.Fatal("warmed submission was not answered from cache")
+		}
+		if _, err := cl.Result(ctx, st.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Command fsload is a closed-loop load generator for fsmemd: a fixed
+// number of in-flight clients each submit a job, wait for it to reach
+// a terminal state, and record the end-to-end latency. It reports
+// throughput and latency percentiles, so the daemon's scaling and
+// cache-hit claims are measurable rather than asserted.
+//
+// Usage:
+//
+//	fsload -addr http://127.0.0.1:8377                 # 200 simulate jobs, 8 clients
+//	fsload -n 1000 -c 32 -spread 16                    # 16 distinct configs (cache mix)
+//	fsload -spread 1                                   # one config: pure cache-hit path
+//	fsload -report fsload_report.json                  # machine-readable report
+//
+// With -spread 1 every request after the first is answered from the
+// daemon's result cache, which is the hot path BenchmarkServerCacheHit
+// pins. Larger -spread values force distinct simulations and exercise
+// the queue and worker pool.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmem/internal/config"
+	"fsmem/internal/server"
+	"fsmem/internal/server/client"
+)
+
+type report struct {
+	Requests   int     `json:"requests"`
+	Completed  int     `json:"completed"`
+	CacheHits  int     `json:"cache_hits"`
+	Rejected   int     `json:"rejected"` // 429/503 backpressure responses
+	Failed     int     `json:"failed"`
+	Elapsed    float64 `json:"elapsed_seconds"`
+	Throughput float64 `json:"throughput_rps"`
+	LatencyMS  struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8377", "fsmemd base URL")
+	n := flag.Int("n", 200, "total requests")
+	c := flag.Int("c", 8, "concurrent closed-loop clients")
+	spread := flag.Int("spread", 4, "distinct configs to cycle through (1 = pure cache-hit path)")
+	wl := flag.String("workload", "mcf", "workload for generated simulate jobs")
+	sched := flag.String("sched", "fs_bp", "scheduler for generated simulate jobs")
+	cores := flag.Int("cores", 2, "cores for generated simulate jobs")
+	reads := flag.Int64("reads", 500, "reads per generated simulate job")
+	poll := flag.Duration("poll", 10*time.Millisecond, "status poll interval")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	reportPath := flag.String("report", "", "write the JSON report to this file")
+	flag.Parse()
+
+	if *spread < 1 {
+		*spread = 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := client.New(*addr, nil)
+	if err := cl.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "fsload: daemon not reachable at %s: %v\n", *addr, err)
+		os.Exit(2)
+	}
+
+	reqFor := func(i int) server.JobRequest {
+		e := config.Default()
+		e.Workload = *wl
+		e.Scheduler = *sched
+		e.Cores = *cores
+		e.Reads = *reads
+		// Distinct seeds address distinct cache entries; modulo spread
+		// keeps the working set bounded so hits dominate once warm.
+		e.Seed = uint64(1 + i%*spread)
+		return server.JobRequest{Kind: server.KindSimulate, Simulate: &e}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rep       report
+		next      atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				st, err := cl.Submit(ctx, reqFor(i))
+				if err == nil && !st.State.Terminal() {
+					st, err = cl.Wait(ctx, st.ID, *poll)
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					if ae, ok := err.(*client.APIError); ok && (ae.StatusCode == 429 || ae.StatusCode == 503) {
+						rep.Rejected++
+					} else {
+						rep.Failed++
+					}
+				case st.State == server.StateDone:
+					rep.Completed++
+					if st.CacheHit {
+						rep.CacheHits++
+					}
+					latencies = append(latencies, lat)
+				default:
+					rep.Failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.Requests = *n
+	rep.Elapsed = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Completed) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	rep.LatencyMS.P50 = pct(0.50)
+	rep.LatencyMS.P90 = pct(0.90)
+	rep.LatencyMS.P95 = pct(0.95)
+	rep.LatencyMS.P99 = pct(0.99)
+	if len(latencies) > 0 {
+		rep.LatencyMS.Max = float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
+	}
+
+	fmt.Printf("fsload: %d requests, %d clients, spread %d\n", rep.Requests, *c, *spread)
+	fmt.Printf("  completed   %d (%d cache hits)\n", rep.Completed, rep.CacheHits)
+	fmt.Printf("  rejected    %d (backpressure)\n", rep.Rejected)
+	fmt.Printf("  failed      %d\n", rep.Failed)
+	fmt.Printf("  elapsed     %.2fs\n", rep.Elapsed)
+	fmt.Printf("  throughput  %.1f jobs/s\n", rep.Throughput)
+	fmt.Printf("  latency ms  p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Max)
+
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsload:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsload:", err)
+			os.Exit(1)
+		}
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Command fsmemd is the simulation-as-a-service daemon: an HTTP/JSON
+// API over the fsmem simulator with a bounded job queue, a
+// content-addressed result cache, SSE progress streaming, and
+// production plumbing (rate limiting, health/readiness probes, a
+// Prometheus-style /metrics endpoint, graceful drain on SIGTERM).
+//
+// Usage:
+//
+//	fsmemd                          # listen on :8377
+//	fsmemd -addr :9000 -j 8         # 8 executor workers
+//	fsmemd -queue 128 -cache 1024   # deeper queue, bigger result cache
+//	fsmemd -rate 200 -burst 400     # submission token bucket
+//
+// Endpoints:
+//
+//	POST   /v1/jobs                 submit a job (simulate, figures, leakage, chaos)
+//	GET    /v1/jobs/{id}            job status
+//	GET    /v1/jobs/{id}/result     canonical JSON result document
+//	GET    /v1/jobs/{id}/events     SSE progress stream
+//	GET    /v1/jobs/{id}/trace      command trace (observed jobs; ?format=jsonl|chrome)
+//	DELETE /v1/jobs/{id}            cancel
+//	GET    /healthz /readyz /metrics
+//
+// On SIGTERM or SIGINT the daemon drains: new submissions get 503,
+// queued and in-flight jobs run to completion (bounded by
+// -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"fsmem/internal/obs"
+	"fsmem/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address")
+	workers := flag.Int("j", 0, "executor workers (0 = GOMAXPROCS)")
+	gridShards := flag.Int("grid-shards", 0, "per-job simulation grid shard width (0 = -j)")
+	queue := flag.Int("queue", 64, "bounded queue depth per priority level")
+	cache := flag.Int("cache", 256, "result cache capacity in entries")
+	rate := flag.Float64("rate", 50, "submission rate limit (jobs/second)")
+	burst := flag.Float64("burst", 0, "submission burst size (0 = rate)")
+	reqTimeout := flag.Duration("timeout", 30*time.Second, "per-request handling timeout (non-streaming endpoints)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful-drain budget on SIGTERM")
+	pidfile := flag.String("pidfile", "", "write the daemon PID to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	exectrace := flag.String("exectrace", "", "write a Go execution trace to this file")
+	flag.Parse()
+
+	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsmemd:", err)
+		os.Exit(2)
+	}
+
+	if *pidfile != "" {
+		if err := os.WriteFile(*pidfile, []byte(strconv.Itoa(os.Getpid())+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fsmemd:", err)
+			os.Exit(2)
+		}
+		defer os.Remove(*pidfile)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "fsmemd: listening on %s\n", *addr)
+	err = server.Serve(ctx, server.Options{
+		Addr:           *addr,
+		Workers:        *workers,
+		GridShards:     *gridShards,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+	})
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintf(os.Stderr, "fsmemd: profiling: %v\n", perr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsmemd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "fsmemd: drained cleanly")
+}

@@ -8,15 +8,26 @@
 //	leakage                         # Figure 4 profiles + MI, baseline vs FS_RP
 //	leakage -sched fs_np_optimized  # any scheduler
 //	leakage -covert                 # covert channel bit-error-rate comparison
+//	leakage -j 4                    # shard profile collection across 4 workers
+//
+// The -j flag bounds the worker pool the profile collections are
+// sharded across (0 = GOMAXPROCS). Output is byte-identical for every
+// value: results are merged in input order, never completion order.
+//
+// Profiling: -cpuprofile, -memprofile, and -exectrace write the
+// standard Go profiles (inspect with `go tool pprof` / `go tool trace`).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"fsmem"
 	"fsmem/internal/leakage"
+	"fsmem/internal/obs"
+	"fsmem/internal/parallel"
 	"fsmem/internal/sim"
 	"fsmem/internal/workload"
 )
@@ -38,42 +49,71 @@ func main() {
 	samples := flag.Int64("samples", 40, "profile samples (x10K instructions)")
 	covert := flag.Bool("covert", false, "run the covert-channel experiment instead")
 	seed := flag.Uint64("seed", 42, "random seed")
+	workers := flag.Int("j", 0, "parallel profile-collection workers (0 = GOMAXPROCS); output is identical for every value")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	exectrace := flag.String("exectrace", "", "write a Go execution trace to this file")
 	flag.Parse()
 
-	if *covert {
-		runCovert(*seed)
-		return
-	}
-
-	attacker, err := workload.ByName(*attackerName)
+	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "leakage:", err)
 		os.Exit(2)
 	}
+	code := run(*attackerName, *schedName, *samples, *seed, *workers, *covert)
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "leakage: profiling: %v\n", err)
+	}
+	os.Exit(code)
+}
+
+func run(attackerName, schedName string, samples int64, seed uint64, workers int, covert bool) int {
+	if covert {
+		return runCovert(seed)
+	}
+
+	attacker, err := workload.ByName(attackerName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	kinds := []sim.SchedulerKind{sim.Baseline, sim.FSRankPart}
-	if *schedName != "" {
-		k, ok := schedNames[*schedName]
+	if schedName != "" {
+		k, ok := schedNames[schedName]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown -sched %q\n", *schedName)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "unknown -sched %q\n", schedName)
+			return 2
 		}
 		kinds = []sim.SchedulerKind{k}
 	}
 
 	milestone := int64(10_000)
-	total := *samples * milestone
-	fmt.Printf("attacker %s, 7 co-runners, sampled every %d instructions\n\n", attacker.Name, milestone)
+	total := samples * milestone
+	coRunners := []workload.Profile{workload.Synthetic("idle", 0.01), workload.Synthetic("streaming", 45)}
+
+	// The quiet/loud collections are independent; shard them across the
+	// pool and assemble output from the ordered results.
+	var cells []parallel.Cell[leakage.Profile]
 	for _, k := range kinds {
-		quiet, err := leakage.CollectProfile(k, attacker, workload.Synthetic("idle", 0.01), 8, milestone, total, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		for _, co := range coRunners {
+			k, co := k, co
+			cells = append(cells, parallel.Cell[leakage.Profile]{
+				Key: fmt.Sprintf("leakage/%v/%s", k, co.Name),
+				Run: func(context.Context) (leakage.Profile, error) {
+					return leakage.CollectProfile(k, attacker, co, 8, milestone, total, seed)
+				},
+			})
 		}
-		loud, err := leakage.CollectProfile(k, attacker, workload.Synthetic("streaming", 45), 8, milestone, total, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	}
+	profiles, err := parallel.Map(context.Background(), workers, cells)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	fmt.Printf("attacker %s, 7 co-runners, sampled every %d instructions\n\n", attacker.Name, milestone)
+	for i, k := range kinds {
+		quiet, loud := profiles[2*i], profiles[2*i+1]
 		div, _ := leakage.Divergence(quiet, loud)
 		mi := leakage.MutualInformationBits(leakage.EpochDurations(quiet), leakage.EpochDurations(loud), 16)
 		fmt.Printf("== %s ==\n", k)
@@ -90,18 +130,20 @@ func main() {
 		}
 		fmt.Println()
 	}
+	return 0
 }
 
-func runCovert(seed uint64) {
+func runCovert(seed uint64) int {
 	message := []bool{true, false, true, true, false, false, true, false, true, true, false, true, false, false, true, false}
 	fmt.Printf("covert channel: %d-bit message, sender modulates memory intensity per window\n\n", len(message))
 	for _, k := range []sim.SchedulerKind{sim.Baseline, sim.FSRankPart} {
 		res, err := leakage.CovertChannel(k, 8, message, 40_000, seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%-16s bit error rate %.2f (%d/%d wrong)\n", res.Scheduler, res.BitErrorRate, res.Errors, res.Bits)
 	}
 	fmt.Println("\n0.00 = perfect covert channel; ~0.50 = receiver learns nothing")
+	return 0
 }

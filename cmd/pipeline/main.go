@@ -7,6 +7,9 @@
 //	pipeline -solve                 # minimal l for every anchor/mode
 //	pipeline -mode rp               # Figure 1: rank-partitioned pipeline
 //	pipeline -mode np -intervals 2  # Figure 2: no-partitioning pipelines
+//
+// Profiling: -cpuprofile, -memprofile, and -exectrace write the
+// standard Go profiles (inspect with `go tool pprof` / `go tool trace`).
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fsmem/internal/addr"
 	"fsmem/internal/core"
 	"fsmem/internal/dram"
+	"fsmem/internal/obs"
 )
 
 func main() {
@@ -27,7 +31,21 @@ func main() {
 	domains := flag.Int("threads", 8, "number of threads / security domains")
 	intervals := flag.Int("intervals", 1, "number of Q-cycle intervals to draw")
 	pattern := flag.String("pattern", "rwrrrrww", "per-thread transaction kinds (r/w), cycled to the thread count")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	exectrace := flag.String("exectrace", "", "write a Go execution trace to this file")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline:", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline: profiling: %v\n", err)
+		}
+	}()
 
 	p := dram.DDR3_1600()
 	if *ddr4 {

@@ -41,6 +41,7 @@ import (
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/leakage"
 	"fsmem/internal/obs"
+	"fsmem/internal/server"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
 	"fsmem/internal/workload"
@@ -223,6 +224,27 @@ func TraceExport(w io.Writer, res Result, format string) error {
 			"unknown trace format %q (want \"jsonl\" or \"chrome\")", format)
 	}
 }
+
+// ServerOptions configures the fsmemd simulation-service daemon:
+// listen address, executor pool width, queue depth, result-cache size,
+// rate limiting, and drain behavior.
+type ServerOptions = server.Options
+
+// JobRequest is the daemon's job-submission payload (simulation,
+// figure-grid, leakage-profile, or fault-campaign work).
+type JobRequest = server.JobRequest
+
+// JobStatus is the daemon's job status document.
+type JobStatus = server.JobStatus
+
+// Serve runs the simulation-as-a-service daemon (cmd/fsmemd) until ctx
+// is canceled, then drains gracefully: in-flight and queued jobs
+// finish, new submissions are rejected with 503, and a clean drain
+// returns nil. Results are served from a content-addressed cache keyed
+// by the same canonical config normalization the experiment harness
+// memoizes on, so identical concurrent submissions simulate exactly
+// once.
+func Serve(ctx context.Context, o ServerOptions) error { return server.Serve(ctx, o) }
 
 // LeakageProfile is an attacker execution profile (Figure 4).
 type LeakageProfile = leakage.Profile

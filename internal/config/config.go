@@ -46,6 +46,13 @@ var schedulers = map[string]sim.SchedulerKind{
 	"fs_np_optimized": sim.FSNoPartTriple,
 }
 
+// SchedulerByName resolves one of the accepted scheduler strings
+// (case-insensitively) to its kind.
+func SchedulerByName(name string) (sim.SchedulerKind, bool) {
+	k, ok := schedulers[strings.ToLower(name)]
+	return k, ok
+}
+
 // SchedulerNames lists the accepted scheduler strings.
 func SchedulerNames() []string {
 	names := make([]string, 0, len(schedulers))

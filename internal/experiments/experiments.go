@@ -112,6 +112,15 @@ type Settings struct {
 	// cell fills never share observability state and worker count cannot
 	// perturb what a cell records). Export with Runner.ExportTraces.
 	Observe *obs.Options
+
+	// OnCell, when non-nil, is invoked once per grid cell the runner
+	// actually simulates (cache hits never fire it), with the cell's
+	// canonical memo key. Calls come from whichever pool worker computed
+	// the cell, so the callback must be safe for concurrent use. It is a
+	// progress hook only: it must not mutate the runner, and it never
+	// affects what any cell computes (the daemon's SSE job-progress
+	// stream is fed from it).
+	OnCell func(key string)
 }
 
 // DefaultSettings returns the 8-core evaluation configuration.
@@ -175,6 +184,31 @@ type Spec struct {
 	Mutate func(*sim.Config)
 }
 
+// keyOf normalizes a fully-expanded simulation config into its memo key.
+// Everything that can change a cell's output is in the key; observability
+// (Settings.Observe) deliberately is not — observation must never decide
+// which simulation a cell runs.
+func keyOf(cfg sim.Config) runKey {
+	return runKey{
+		workload: cfg.Mix.Name, sched: cfg.Scheduler, prefetch: cfg.Prefetch, energy: cfg.Energy,
+		turn: cfg.TPTurnLength, cores: len(cfg.Mix.Profiles),
+		slotL: cfg.FSSlotSpacing, refresh: cfg.RefreshEnabled,
+		weights: fmt.Sprint(cfg.SLAWeights),
+		dram:    cfg.DRAM.BankGroups,
+	}
+}
+
+// MemoKey returns the canonical memo-key string for a fully-expanded
+// simulation config: the same normalization the runner's cell cache uses,
+// extended with the per-runner fields (seed and run budget) a long-lived
+// daemon must distinguish. Two configs with equal MemoKeys produce
+// byte-identical results, so the string is safe to use as a
+// content-addressed cache key and as the basis of deterministic job IDs.
+func MemoKey(cfg sim.Config) string {
+	return fmt.Sprintf("%+v|seed=%d|reads=%d|maxcycles=%d",
+		keyOf(cfg), cfg.Seed, cfg.TargetReads, cfg.MaxBusCycles)
+}
+
 // configFor expands a spec into its full simulation config and memo key.
 func (r *Runner) configFor(sp Spec) (sim.Config, runKey) {
 	cfg := sim.DefaultConfig(sp.Mix, sp.Kind)
@@ -184,14 +218,7 @@ func (r *Runner) configFor(sp Spec) (sim.Config, runKey) {
 	if sp.Mutate != nil {
 		sp.Mutate(&cfg)
 	}
-	key := runKey{
-		workload: sp.Mix.Name, sched: sp.Kind, prefetch: cfg.Prefetch, energy: cfg.Energy,
-		turn: cfg.TPTurnLength, cores: len(sp.Mix.Profiles),
-		slotL: cfg.FSSlotSpacing, refresh: cfg.RefreshEnabled,
-		weights: fmt.Sprint(cfg.SLAWeights),
-		dram:    cfg.DRAM.BankGroups,
-	}
-	return cfg, key
+	return cfg, keyOf(cfg)
 }
 
 func (r *Runner) lookup(key runKey) (cellValue, bool) {
@@ -215,6 +242,9 @@ func (r *Runner) simulate(ctx context.Context, sp Spec, cfg sim.Config) cellValu
 	if err != nil {
 		err = fsmerr.Wrap(fsmerr.CodeExperiment,
 			fmt.Sprintf("experiments.run(%s/%v)", sp.Mix.Name, sp.Kind), err)
+	}
+	if r.S.OnCell != nil && fsmerr.CodeOf(err) != fsmerr.CodeCanceled {
+		r.S.OnCell(MemoKey(cfg))
 	}
 	return cellValue{res: res, err: err}
 }
@@ -754,7 +784,9 @@ func Figure10(r *Runner) (Table, error) {
 	}
 	schemes := []sim.SchedulerKind{sim.FSRankPart, sim.FSReorderedBank, sim.TPBank}
 	for _, cores := range []int{8, 4, 2} {
-		sub := NewRunner(Settings{Cores: cores, TargetReads: r.S.TargetReads, Seed: r.S.Seed, Workers: r.S.Workers})
+		subSettings := r.S
+		subSettings.Cores = cores
+		sub := NewRunner(subSettings)
 		sub.Ctx = r.Ctx
 		var sums [3]float64
 		n := 0.0

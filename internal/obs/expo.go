@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// expoName maps a snapshot metric name onto the Prometheus exposition
+// grammar: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dotted, per-domain
+// names ("dram.acts", "dom3.ipc") become underscore-separated; anything
+// else outside the grammar is folded to '_' too.
+func expoName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (untyped samples, one per line). The snapshot is already sorted
+// by name and every name is sanitized deterministically, so two equal
+// snapshots serialize to identical bytes — the daemon's /metrics endpoint
+// and its tests rely on that.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+	for _, m := range s {
+		b.WriteString(expoName(m.Name))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(m.Value, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpoName(t *testing.T) {
+	cases := map[string]string{
+		"dram.acts":          "dram_acts",
+		"dom3.ipc":           "dom3_ipc",
+		"fsmemd.jobs.done":   "fsmemd_jobs_done",
+		"lat_le_128":         "lat_le_128",
+		"3cores":             "_3cores",
+		"a-b c":              "a_b_c",
+		"already_legal:name": "already_legal:name",
+	}
+	for in, want := range cases {
+		if got := expoName(in); got != want {
+			t.Errorf("expoName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	s := Snapshot{
+		{Name: "fsmemd.cache.hit_ratio", Value: 0.5},
+		{Name: "fsmemd.jobs.executed", Value: 3},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	want := "fsmemd_cache_hit_ratio 0.5\nfsmemd_jobs_executed 3\n"
+	if b.String() != want {
+		t.Fatalf("exposition:\n%q\nwant:\n%q", b.String(), want)
+	}
+	// Determinism: equal snapshots serialize to identical bytes.
+	var b2 strings.Builder
+	WritePrometheus(&b2, s)
+	if b.String() != b2.String() {
+		t.Fatal("exposition is not deterministic")
+	}
+}

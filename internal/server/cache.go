@@ -1,0 +1,77 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"fsmem/internal/obs"
+)
+
+// cacheEntry is one finished job's cached payload: the canonical result
+// document plus, for observed simulate jobs, the command/event trace
+// the /trace endpoint re-exports.
+type cacheEntry struct {
+	key    string
+	result []byte
+	trace  *obs.Tracer
+}
+
+// resultCache is a bounded LRU over finished job results, keyed by the
+// canonical content key (the experiments memo key for simulations).
+// Concurrent identical submissions never reach the cache twice while a
+// job is live — the manager's deterministic job IDs collapse them into
+// one job — so the cache only needs plain mutual exclusion, not
+// per-key filling locks.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recent
+	entries map[string]*list.Element
+
+	hits, misses int64
+}
+
+func newResultCache(capEntries int) *resultCache {
+	if capEntries <= 0 {
+		capEntries = 256
+	}
+	return &resultCache{cap: capEntries, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+// get returns the cached entry for key, promoting it to most recent.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores an entry, evicting the least recently used beyond capacity.
+func (c *resultCache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats reads the cache counters for the metrics endpoint.
+func (c *resultCache) stats() (entries int, hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.hits, c.misses
+}

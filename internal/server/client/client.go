@@ -1,0 +1,232 @@
+// Package client is the typed Go client for the fsmemd daemon. The
+// API tests and cmd/fsload drive the server exclusively through it, so
+// the wire contract is exercised end to end.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"fsmem/internal/server"
+)
+
+// APIError is a non-2xx response decoded from the server's error
+// envelope.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fsmemd: %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Client talks to one fsmemd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a base URL like "http://127.0.0.1:8377".
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp.StatusCode, data)
+	}
+	if out != nil {
+		if raw, ok := out.(*[]byte); ok {
+			*raw = data
+			return nil
+		}
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func decodeError(status int, data []byte) error {
+	var body server.ErrorBody
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return &APIError{StatusCode: status, Code: body.Code, Message: body.Error}
+	}
+	return &APIError{StatusCode: status, Message: strings.TrimSpace(string(data))}
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ready checks /readyz (an error with code "draining" means the server
+// is shutting down).
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Submit posts a job and returns its status document.
+func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state (or ctx expires)
+// and returns the final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Result fetches a finished job's raw result document.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw)
+	return raw, err
+}
+
+// ResultJSON fetches and decodes a finished job's result document.
+func (c *Client) ResultJSON(ctx context.Context, id string, out any) error {
+	raw, err := c.Result(ctx, id)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Trace streams a finished observed job's command trace ("jsonl" or
+// "chrome") into w.
+func (c *Client) Trace(ctx context.Context, id, format string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+id+"/trace?format="+format, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(resp.Body)
+		return decodeError(resp.StatusCode, data)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Events streams the job's SSE progress events, invoking fn per event,
+// until the job reaches a terminal state, fn returns false, or ctx is
+// done. It replays the job's full history from the first event.
+func (c *Client) Events(ctx context.Context, id string, fn func(server.JobEvent) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(resp.Body)
+		return decodeError(resp.StatusCode, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev server.JobEvent
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			return fmt.Errorf("fsmemd: decoding event: %w", err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+		if ev.State.Terminal() {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// Metrics fetches the /metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw)
+	return string(raw), err
+}

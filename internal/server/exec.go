@@ -1,0 +1,218 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"fsmem/internal/experiments"
+	"fsmem/internal/fault"
+	"fsmem/internal/fsmerr"
+	"fsmem/internal/leakage"
+	"fsmem/internal/obs"
+	"fsmem/internal/parallel"
+	"fsmem/internal/sim"
+	"fsmem/internal/workload"
+)
+
+// run computes one job's result document. It runs inside a parallel
+// cell, so a panic anywhere below surfaces as a structured CodePanic
+// error and a canceled context as CodeCanceled.
+func (m *Manager) run(ctx context.Context, j *Job) (*cacheEntry, error) {
+	switch j.Req.Kind {
+	case KindSimulate:
+		return m.runSimulate(ctx, j)
+	case KindFigures:
+		return m.runFigures(ctx, j)
+	case KindLeakage:
+		return m.runLeakage(ctx, j)
+	case KindChaos:
+		return m.runChaos(ctx, j)
+	default:
+		return nil, fsmerr.New(fsmerr.CodeConfig, "server.run", "unknown job kind %q", j.Req.Kind)
+	}
+}
+
+func (m *Manager) runSimulate(ctx context.Context, j *Job) (*cacheEntry, error) {
+	cfg, err := j.Req.Simulate.ToSimConfig()
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeConfig, "server.simulate", err)
+	}
+	if j.Req.Observe {
+		cfg.Observe = &obs.Options{}
+	}
+	j.progressTotal.Store(1)
+	res, err := sim.SimulateContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	j.progressDone.Store(1)
+	j.events.publish(JobEvent{Phase: "progress", Cell: experiments.MemoKey(cfg), Done: 1, Total: 1})
+	b, err := marshalResult(Summarize(cfg, res))
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeExperiment, "server.simulate", err)
+	}
+	return &cacheEntry{key: j.Key, result: b, trace: res.Trace}, nil
+}
+
+// figureFuncs maps wire figure IDs onto runner entry points.
+var figureFuncs = map[string]func(*experiments.Runner) (experiments.Table, error){
+	"3": experiments.Figure3,
+	"4": func(r *experiments.Runner) (experiments.Table, error) {
+		t, _, err := experiments.Figure4(r)
+		return t, err
+	},
+	"5":  experiments.Figure5,
+	"6":  experiments.Figure6,
+	"7":  experiments.Figure7,
+	"8":  experiments.Figure8,
+	"9":  experiments.Figure9,
+	"10": experiments.Figure10,
+}
+
+func (m *Manager) runFigures(ctx context.Context, j *Job) (*cacheEntry, error) {
+	req := j.Req.Figures
+	workers := req.Workers
+	if workers <= 0 || workers > m.gridShards {
+		workers = m.gridShards
+	}
+	r := experiments.NewRunner(experiments.Settings{
+		Cores:       req.Cores,
+		TargetReads: req.Reads,
+		Seed:        req.Seed,
+		Workers:     workers,
+		OnCell: func(key string) {
+			// Per-cell progress from the pool workers; the grid size is
+			// not known upfront, so Total stays 0.
+			done := int(j.progressDone.Add(1))
+			j.events.publish(JobEvent{Phase: "progress", Cell: key, Done: done})
+		},
+	})
+	r.Ctx = ctx
+
+	var out FiguresResult
+	runOne := func(id string, f func(*experiments.Runner) (experiments.Table, error)) error {
+		t, err := f(r)
+		if err != nil {
+			if fsmerr.CodeOf(err) == fsmerr.CodeCanceled {
+				return err
+			}
+			out.Errors = append(out.Errors, fmt.Sprintf("figure %s: %v", id, err))
+			return nil
+		}
+		out.Tables = append(out.Tables, t)
+		return nil
+	}
+	ids := req.Figures
+	if len(ids) == 0 {
+		ids = experiments.Names()
+	}
+	for _, id := range ids {
+		if err := runOne(id, figureFuncs[id]); err != nil {
+			return nil, err
+		}
+	}
+	b, err := marshalResult(out)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeExperiment, "server.figures", err)
+	}
+	return &cacheEntry{key: j.Key, result: b}, nil
+}
+
+func (m *Manager) runLeakage(ctx context.Context, j *Job) (*cacheEntry, error) {
+	req := j.Req.Leakage
+	attacker, err := workload.ByName(req.Attacker)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeConfig, "server.leakage", err)
+	}
+	kinds := []sim.SchedulerKind{sim.Baseline, sim.FSRankPart}
+	if req.Scheduler != "" {
+		k, err := schedulerByName(req.Scheduler)
+		if err != nil {
+			return nil, fsmerr.Wrap(fsmerr.CodeConfig, "server.leakage", err)
+		}
+		kinds = []sim.SchedulerKind{k}
+	}
+	milestone := int64(10_000)
+	total := req.Samples * milestone
+	coRunners := []workload.Profile{workload.Synthetic("idle", 0.01), workload.Synthetic("streaming", 45)}
+
+	var cells []parallel.Cell[leakage.Profile]
+	for _, k := range kinds {
+		for _, co := range coRunners {
+			k, co := k, co
+			cells = append(cells, parallel.Cell[leakage.Profile]{
+				Key: fmt.Sprintf("leakage/%v/%s", k, co.Name),
+				Run: func(context.Context) (leakage.Profile, error) {
+					p, err := leakage.CollectProfile(k, attacker, co, req.Cores, milestone, total, req.Seed)
+					if err == nil {
+						done := int(j.progressDone.Add(1))
+						j.events.publish(JobEvent{Phase: "progress", Cell: fmt.Sprintf("%v/%s", k, co.Name),
+							Done: done, Total: len(kinds) * len(coRunners)})
+					}
+					return p, err
+				},
+			})
+		}
+	}
+	j.progressTotal.Store(int64(len(cells)))
+	profiles, err := parallel.Map(ctx, m.gridShards, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := LeakageResult{Attacker: attacker.Name}
+	for i, k := range kinds {
+		quiet, loud := profiles[2*i], profiles[2*i+1]
+		div, err := leakage.Divergence(quiet, loud)
+		if err != nil {
+			return nil, fsmerr.Wrap(fsmerr.CodeExperiment, "server.leakage", err)
+		}
+		mi := leakage.MutualInformationBits(leakage.EpochDurations(quiet), leakage.EpochDurations(loud), 16)
+		out.Rows = append(out.Rows, LeakageRow{
+			Scheduler:             k.String(),
+			Identical:             leakage.Identical(quiet, loud),
+			MaxDivergence:         div,
+			MutualInformationBits: mi,
+		})
+	}
+	b, err := marshalResult(out)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeExperiment, "server.leakage", err)
+	}
+	return &cacheEntry{key: j.Key, result: b}, nil
+}
+
+func (m *Manager) runChaos(ctx context.Context, j *Job) (*cacheEntry, error) {
+	req := j.Req.Chaos
+	k, err := schedulerByName(req.Scheduler)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeConfig, "server.chaos", err)
+	}
+	mix, err := workload.Rate(req.Workload, req.Cores)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeConfig, "server.chaos", err)
+	}
+	cfg := sim.DefaultConfig(mix, k)
+	cfg.Seed = 1
+	if req.Cycles > 0 {
+		cfg.TargetReads = 0
+		cfg.MaxBusCycles = req.Cycles
+	}
+	plans := fault.CampaignPlans(req.Cores, req.Seed)
+	j.progressTotal.Store(int64(len(plans)) + 1) // +1 for the reference run
+	res, err := sim.RunCampaignContext(ctx, cfg, plans, m.gridShards)
+	if err != nil {
+		return nil, err
+	}
+	j.progressDone.Store(int64(len(plans)) + 1)
+	out := ChaosResult{
+		Scheduler:  res.Scheduler,
+		Cycles:     res.Cycles,
+		Undetected: res.Undetected(),
+		Outcomes:   res.Outcomes,
+	}
+	b, err := marshalResult(out)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeExperiment, "server.chaos", err)
+	}
+	return &cacheEntry{key: j.Key, result: b}, nil
+}

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"fsmem/internal/fsmerr"
+	"fsmem/internal/parallel"
+)
+
+// Job is one unit of daemon work. Identity is content-addressed: the
+// ID hashes the request's canonical key, so identical requests share a
+// Job (and therefore execute at most once while live — singleflight
+// without a separate filling lock).
+type Job struct {
+	ID  string
+	Key string
+	Req JobRequest
+
+	events *eventLog
+	done   chan struct{} // closed at any terminal state
+	cancel context.CancelFunc
+
+	// progress counters are written by pool workers mid-run.
+	progressDone  atomic.Int64
+	progressTotal atomic.Int64
+
+	mu       sync.Mutex
+	state    JobState
+	cacheHit bool
+	entry    *cacheEntry
+	err      error
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID: j.ID, Kind: j.Req.Kind, State: j.state, Priority: j.Req.Priority,
+		CacheHit: j.cacheHit,
+		Progress: Progress{Done: int(j.progressDone.Load()), Total: int(j.progressTotal.Load())},
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+		s.ErrorCode = string(fsmerr.CodeOf(j.err))
+	}
+	return s
+}
+
+// Result returns the finished job's cached payload.
+func (j *Job) Result() (*cacheEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.entry, j.entry != nil && j.state == StateDone
+}
+
+// Done exposes the terminal-state signal (closed when the job finishes,
+// fails, or is canceled).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once, publishing the
+// closing event and releasing waiters.
+func (j *Job) finish(s JobState, entry *cacheEntry, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = s
+	j.entry = entry
+	j.err = err
+	j.mu.Unlock()
+	ev := JobEvent{Phase: string(s), State: s, Done: int(j.progressDone.Load()), Total: int(j.progressTotal.Load())}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.events.publish(ev)
+	j.events.close()
+	close(j.done)
+}
+
+// Submission errors the HTTP layer maps onto status codes.
+var (
+	errQueueFull = errors.New("job queue full")
+	errDraining  = errors.New("server is draining")
+)
+
+// Manager owns the job table, the bounded two-priority queue, and the
+// executor pool. Execution itself funnels every job body through
+// internal/parallel, which supplies panic isolation and cancellation
+// semantics identical to the batch CLIs'.
+type Manager struct {
+	workers    int
+	gridShards int
+	cache      *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	high, normal chan *Job
+	wg           sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	finished []string // FIFO of terminal job IDs, for table eviction
+
+	// counters for /metrics
+	submitted, executed, completed, failed, canceled atomic.Int64
+	inFlight                                         atomic.Int64
+}
+
+// maxFinished bounds how many terminal job records stay addressable;
+// beyond it the oldest are evicted (their results usually remain in the
+// LRU cache, so a resubmission is still a cache hit).
+const maxFinished = 1024
+
+// newManager builds and starts the executor pool.
+func newManager(workers, queueDepth, cacheEntries, gridShards int) *Manager {
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	if gridShards <= 0 {
+		gridShards = workers
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		workers:    workers,
+		gridShards: gridShards,
+		cache:      newResultCache(cacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		high:       make(chan *Job, queueDepth),
+		normal:     make(chan *Job, queueDepth),
+		jobs:       map[string]*Job{},
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// QueueDepth reports queued (not yet running) jobs.
+func (m *Manager) QueueDepth() int { return len(m.high) + len(m.normal) }
+
+// Submit registers a job for the request. The returned bool is true
+// when this call created a new job; false when the request joined an
+// existing live job or was answered from cache. Submit never blocks on
+// execution: a full queue fails fast with errQueueFull and a draining
+// manager with errDraining.
+func (m *Manager) Submit(req JobRequest) (*Job, bool, error) {
+	key, err := req.normalize()
+	if err != nil {
+		return nil, false, fsmerr.Wrap(fsmerr.CodeConfig, "server.Submit", err)
+	}
+	id := jobID(key)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, false, errDraining
+	}
+	m.submitted.Add(1)
+	if j, ok := m.jobs[id]; ok {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if !terminal {
+			// Live job: join it (this is the singleflight).
+			return j, false, nil
+		}
+		// Terminal: a done job is re-answered from the cache below (a
+		// fresh hit-materialized record replaces it); a failed or
+		// canceled one does not poison the table — fall through and
+		// retry with a fresh attempt.
+	}
+
+	j := &Job{ID: id, Key: key, Req: req, events: newEventLog(), done: make(chan struct{})}
+	if entry, ok := m.cache.get(key); ok {
+		// Warm path: materialize a finished job straight from cache.
+		j.cacheHit = true
+		j.state = StateDone
+		j.entry = entry
+		j.progressDone.Store(1)
+		j.progressTotal.Store(1)
+		m.jobs[id] = j
+		m.rememberFinishedLocked(id)
+		j.events.publish(JobEvent{Phase: string(StateDone), State: StateDone, Done: 1, Total: 1})
+		j.events.close()
+		close(j.done)
+		return j, true, nil
+	}
+
+	j.state = StateQueued
+	queue := m.normal
+	if req.Priority == PriorityHigh {
+		queue = m.high
+	}
+	select {
+	case queue <- j:
+	default:
+		m.submitted.Add(-1)
+		return nil, false, errQueueFull
+	}
+	m.jobs[id] = j
+	j.events.publish(JobEvent{Phase: string(StateQueued), State: StateQueued})
+	return j, true, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a queued or running job.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if terminal {
+		return true
+	}
+	if cancel != nil {
+		cancel() // running: the simulation truncates at its next watchdog check
+		return true
+	}
+	// Still queued: finish it now; the worker skips terminal jobs.
+	m.canceled.Add(1)
+	j.finish(StateCanceled, nil, fsmerr.New(fsmerr.CodeCanceled, "server.Cancel", "job canceled before start"))
+	m.noteFinished(j.ID)
+	return true
+}
+
+func (m *Manager) rememberFinishedLocked(id string) {
+	m.finished = append(m.finished, id)
+	for len(m.finished) > maxFinished {
+		evict := m.finished[0]
+		m.finished = m.finished[1:]
+		if j, ok := m.jobs[evict]; ok {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if terminal {
+				delete(m.jobs, evict)
+			}
+		}
+	}
+}
+
+func (m *Manager) noteFinished(id string) {
+	m.mu.Lock()
+	m.rememberFinishedLocked(id)
+	m.mu.Unlock()
+}
+
+// worker is one executor goroutine: it drains the high-priority queue
+// first, then either queue, until both are closed by Drain.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	high, normal := m.high, m.normal
+	for high != nil || normal != nil {
+		select {
+		case j, ok := <-high:
+			if !ok {
+				high = nil
+				continue
+			}
+			m.execute(j)
+			continue
+		default:
+		}
+		if high == nil {
+			j, ok := <-normal
+			if !ok {
+				return
+			}
+			m.execute(j)
+			continue
+		}
+		select {
+		case j, ok := <-high:
+			if !ok {
+				high = nil
+				continue
+			}
+			m.execute(j)
+		case j, ok := <-normal:
+			if !ok {
+				normal = nil
+				continue
+			}
+			m.execute(j)
+		}
+	}
+}
+
+// execute runs one job body on the parallel engine (one cell: panic
+// isolation and ordered error semantics for free; grid-shaped jobs
+// shard further inside the cell through the same engine).
+func (m *Manager) execute(j *Job) {
+	j.mu.Lock()
+	if j.state.Terminal() { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.mu.Unlock()
+	defer cancel()
+
+	m.executed.Add(1)
+	m.inFlight.Add(1)
+	defer m.inFlight.Add(-1)
+	j.events.publish(JobEvent{Phase: string(StateRunning), State: StateRunning})
+
+	results, err := parallel.Map(ctx, 1, []parallel.Cell[*cacheEntry]{{
+		Key: string(j.Req.Kind) + "/" + j.ID,
+		Run: func(ctx context.Context) (*cacheEntry, error) { return m.run(ctx, j) },
+	}})
+	entry := results[0]
+	switch {
+	case err == nil && entry != nil:
+		m.cache.put(entry)
+		m.completed.Add(1)
+		j.finish(StateDone, entry, nil)
+	case fsmerr.CodeOf(err) == fsmerr.CodeCanceled:
+		m.canceled.Add(1)
+		j.finish(StateCanceled, nil, err)
+	default:
+		if err == nil {
+			err = fsmerr.New(fsmerr.CodeExperiment, "server.execute", "job produced no result")
+		}
+		m.failed.Add(1)
+		j.finish(StateFailed, nil, err)
+	}
+	m.noteFinished(j.ID)
+}
+
+// Draining reports whether the manager has begun shutting down.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain stops intake and waits for in-flight and queued jobs to finish.
+// New submissions fail with errDraining immediately; queued jobs still
+// execute (a completed submission is never dropped). If ctx expires
+// first, remaining jobs are canceled and Drain waits for the workers to
+// acknowledge before returning ctx's error.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.high)
+		close(m.normal)
+	}
+	m.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // hard-cancel stragglers, then wait them out
+		<-workersDone
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,355 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fsmem/internal/config"
+)
+
+// smallSim returns a fast, deterministic simulate request; vary seed to
+// address distinct cache entries.
+func smallSim(seed uint64) JobRequest {
+	e := config.Default()
+	e.Workload = "mcf"
+	e.Scheduler = "fs_bp"
+	e.Cores = 2
+	e.Reads = 300
+	e.Seed = seed
+	return JobRequest{Kind: KindSimulate, Simulate: &e}
+}
+
+func waitJob(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+	return j.Status()
+}
+
+func TestJobIDDeterministic(t *testing.T) {
+	a, b, c := smallSim(1), smallSim(1), smallSim(2)
+	ka, err := a.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, _ := b.normalize()
+	kc, _ := c.normalize()
+	if ka != kb || jobID(ka) != jobID(kb) {
+		t.Fatalf("identical requests got different keys: %q vs %q", ka, kb)
+	}
+	if ka == kc {
+		t.Fatalf("different seeds share a key: %q", ka)
+	}
+	obs := smallSim(1)
+	obs.Observe = true
+	ko, err := obs.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ko == ka {
+		t.Fatal("observed request must cache separately from unobserved")
+	}
+}
+
+func TestNormalizeRejectsBadRequests(t *testing.T) {
+	cases := map[string]JobRequest{
+		"unknown kind":      {Kind: "nope"},
+		"missing payload":   {Kind: KindSimulate},
+		"missing chaos":     {Kind: KindChaos},
+		"two payloads":      {Kind: KindSimulate, Simulate: smallSim(1).Simulate, Chaos: &ChaosRequest{Scheduler: "fs_bp"}},
+		"bad priority":      func() JobRequest { r := smallSim(1); r.Priority = "urgent"; return r }(),
+		"observe non-sim":   {Kind: KindFigures, Observe: true, Figures: &FiguresRequest{}},
+		"bad scheduler":     {Kind: KindChaos, Chaos: &ChaosRequest{Scheduler: "nope"}},
+		"bad figure":        {Kind: KindFigures, Figures: &FiguresRequest{Figures: []string{"99"}}},
+		"bad sim config":    {Kind: KindSimulate, Simulate: &config.Experiment{Workload: "mcf", Scheduler: "nope"}},
+		"bad leakage sched": {Kind: KindLeakage, Leakage: &LeakageRequest{Scheduler: "nope"}},
+	}
+	for name, req := range cases {
+		req := req
+		if _, err := req.normalize(); err == nil {
+			t.Errorf("%s: normalize accepted %+v", name, req)
+		}
+	}
+}
+
+// TestManagerDedup pins the singleflight property: N concurrent
+// identical submissions collapse into one job and exactly one
+// simulation.
+func TestManagerDedup(t *testing.T) {
+	m := newManager(2, 16, 16, 1)
+	defer m.Drain(context.Background())
+
+	const n = 16
+	jobs := make([]*Job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, _, err := m.Submit(smallSim(9))
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if jobs[i] == nil || jobs[0] == nil {
+			t.Fatal("missing job")
+		}
+		if jobs[i].ID != jobs[0].ID {
+			t.Fatalf("submission %d got job %s, want %s", i, jobs[i].ID, jobs[0].ID)
+		}
+	}
+	st := waitJob(t, jobs[0])
+	if st.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", st.State, st.Error)
+	}
+	if got := m.executed.Load(); got != 1 {
+		t.Fatalf("executed %d simulations for %d identical submissions, want 1", got, n)
+	}
+
+	// A later identical submission is a cache hit with identical bytes.
+	j, _, err := m.Submit(smallSim(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitJob(t, j)
+	if !st.CacheHit {
+		t.Fatal("resubmission after completion was not a cache hit")
+	}
+	a, _ := jobs[0].Result()
+	b, _ := j.Result()
+	if !bytes.Equal(a.result, b.result) {
+		t.Fatal("cache hit returned different bytes")
+	}
+	if got := m.executed.Load(); got != 1 {
+		t.Fatalf("cache hit re-executed: executed = %d", got)
+	}
+}
+
+// TestManagerDrain pins the drain contract: accepted jobs (running or
+// still queued) finish, new submissions fail with errDraining.
+func TestManagerDrain(t *testing.T) {
+	m := newManager(1, 16, 16, 1)
+	a, _, err := m.Submit(smallSim(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := m.Submit(smallSim(22)) // queued behind a on the single worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := a.Status(); st.State != StateDone {
+		t.Fatalf("in-flight job dropped by drain: %s (%s)", st.State, st.Error)
+	}
+	if st := b.Status(); st.State != StateDone {
+		t.Fatalf("queued job dropped by drain: %s (%s)", st.State, st.Error)
+	}
+	if _, _, err := m.Submit(smallSim(23)); !errors.Is(err, errDraining) {
+		t.Fatalf("submit after drain: %v, want errDraining", err)
+	}
+	// Drain is idempotent.
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+func TestManagerCancelQueued(t *testing.T) {
+	m := newManager(1, 16, 16, 1)
+	defer m.Drain(context.Background())
+	// Occupy the single worker so the second job stays queued.
+	a, _, err := m.Submit(JobRequest{Kind: KindSimulate, Simulate: func() *config.Experiment {
+		e := config.Default()
+		e.Workload = "mcf"
+		e.Scheduler = "fs_bp"
+		e.Cores = 2
+		e.Reads = 5_000
+		e.Seed = 31
+		return &e
+	}()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := m.Submit(smallSim(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cancel(b.ID) {
+		t.Fatal("cancel returned false for a known job")
+	}
+	st := waitJob(t, b)
+	if st.State != StateCanceled {
+		t.Fatalf("canceled queued job is %s, want canceled", st.State)
+	}
+	if st := waitJob(t, a); st.State != StateDone {
+		t.Fatalf("unrelated job is %s, want done", st.State)
+	}
+	// A fresh identical submission replaces the canceled record.
+	b2, created, err := m.Submit(smallSim(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("resubmission of a canceled job did not create a fresh attempt")
+	}
+	if st := waitJob(t, b2); st.State != StateDone {
+		t.Fatalf("resubmitted job is %s, want done", st.State)
+	}
+}
+
+func TestManagerQueueFull(t *testing.T) {
+	m := newManager(1, 1, 16, 1)
+	defer m.Drain(context.Background())
+	// One running + one queued fills the depth-1 queue; the third
+	// distinct submission must fail fast.
+	if _, _, err := m.Submit(smallSim(41)); err != nil {
+		t.Fatal(err)
+	}
+	var sawFull bool
+	for seed := uint64(42); seed < 50; seed++ {
+		if _, _, err := m.Submit(smallSim(seed)); errors.Is(err, errQueueFull) {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("bounded queue never reported errQueueFull")
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put(&cacheEntry{key: "a", result: []byte("a")})
+	c.put(&cacheEntry{key: "b", result: []byte("b")})
+	if _, ok := c.get("a"); !ok { // promote a
+		t.Fatal("missing a")
+	}
+	c.put(&cacheEntry{key: "c", result: []byte("c")}) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction past capacity")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used a was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("missing c")
+	}
+	entries, hits, misses := c.stats()
+	if entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
+	}
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+	// Same-key put replaces in place.
+	c.put(&cacheEntry{key: "c", result: []byte("c2")})
+	if e, _ := c.get("c"); string(e.result) != "c2" {
+		t.Fatal("same-key put did not replace the entry")
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(10, 2)
+	b.now = func() time.Time { return now }
+	b.last = now
+	b.tokens = b.burst
+	if !b.allow() || !b.allow() {
+		t.Fatal("burst tokens rejected")
+	}
+	if b.allow() {
+		t.Fatal("empty bucket allowed a request")
+	}
+	now = now.Add(100 * time.Millisecond) // refills 1 token at 10/s
+	if !b.allow() {
+		t.Fatal("refilled token rejected")
+	}
+	if b.allow() {
+		t.Fatal("bucket over-refilled")
+	}
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ { // capped at burst, not rate*3600
+		if !b.allow() {
+			t.Fatalf("token %d after refill rejected", i)
+		}
+	}
+	if b.allow() {
+		t.Fatal("refill exceeded burst cap")
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	l := newEventLog()
+	l.publish(JobEvent{Phase: "queued"})
+	l.publish(JobEvent{Phase: "running"})
+
+	// Late subscriber replays history from the start.
+	ctx := context.Background()
+	ev, ok := l.next(ctx, 0)
+	if !ok || ev.Phase != "queued" || ev.Seq != 0 {
+		t.Fatalf("replay[0] = %+v, %v", ev, ok)
+	}
+	ev, ok = l.next(ctx, 1)
+	if !ok || ev.Phase != "running" || ev.Seq != 1 {
+		t.Fatalf("replay[1] = %+v, %v", ev, ok)
+	}
+
+	// A blocked reader wakes on publish.
+	got := make(chan JobEvent, 1)
+	go func() {
+		ev, _ := l.next(ctx, 2)
+		got <- ev
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.publish(JobEvent{Phase: "done"})
+	select {
+	case ev := <-got:
+		if ev.Phase != "done" {
+			t.Fatalf("woke with %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never woke on publish")
+	}
+
+	// After close, reads past the end return ok=false; publishes drop.
+	l.close()
+	if _, ok := l.next(ctx, 3); ok {
+		t.Fatal("read past end of a closed log succeeded")
+	}
+	l.publish(JobEvent{Phase: "late"})
+	if _, ok := l.next(ctx, 3); ok {
+		t.Fatal("publish after close was recorded")
+	}
+
+	// A canceled context unblocks a waiting reader.
+	l2 := newEventLog()
+	cctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := l2.next(cctx, 0)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("canceled reader reported an event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled reader never unblocked")
+	}
+}

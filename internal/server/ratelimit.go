@@ -1,0 +1,47 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the submission rate limiter: capacity burst tokens,
+// refilled at rate tokens/second. Allow is O(1) and lock-cheap — it is
+// on the request path of every POST /v1/jobs.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable for tests
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if rate <= 0 {
+		rate = 50
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// allow takes one token if available.
+func (b *tokenBucket) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
