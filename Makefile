@@ -21,8 +21,13 @@ vet:
 test:
 	$(GO) test ./...
 
+# RACE_TIMEOUT widens the per-package deadline: the simulation-heavy suites
+# (experiments, leakage) exceed go test's default 10m under the race
+# detector on single-core machines.
+RACE_TIMEOUT ?= 30m
+
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
 # fmt fails (listing the offenders) if any file is not gofmt-clean.
 fmt:

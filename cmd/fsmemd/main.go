@@ -10,6 +10,8 @@
 //	fsmemd -addr :9000 -j 8         # 8 executor workers
 //	fsmemd -queue 128 -cache 1024   # deeper queue, bigger result cache
 //	fsmemd -rate 200 -burst 400     # submission token bucket
+//	fsmemd -data-dir /var/lib/fsmemd   # crash-safe: job journal + result store
+//	fsmemd -data-dir d -quarantine-after 5   # park poison jobs after 5 crashes
 //
 // Endpoints:
 //
@@ -24,6 +26,14 @@
 // On SIGTERM or SIGINT the daemon drains: new submissions get 503,
 // queued and in-flight jobs run to completion (bounded by
 // -drain-timeout), then the process exits 0.
+//
+// With -data-dir the daemon is crash-safe: every accepted job is
+// journaled (write-ahead) before it becomes runnable and every finished
+// result is persisted to a checksummed content-addressed store, so a
+// SIGKILLed daemon restarted over the same directory re-serves done
+// results byte-identically, re-runs interrupted jobs (re-execution is
+// byte-deterministic), and quarantines jobs that keep crashing the
+// executor instead of crash-looping.
 package main
 
 import (
@@ -50,6 +60,8 @@ func main() {
 	burst := flag.Float64("burst", 0, "submission burst size (0 = rate)")
 	reqTimeout := flag.Duration("timeout", 30*time.Second, "per-request handling timeout (non-streaming endpoints)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful-drain budget on SIGTERM")
+	dataDir := flag.String("data-dir", "", "durability directory (job journal + disk result store; empty = in-memory only)")
+	quarantineAfter := flag.Int("quarantine-after", 3, "executor crashes before a job is quarantined")
 	pidfile := flag.String("pidfile", "", "write the daemon PID to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -75,15 +87,17 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "fsmemd: listening on %s\n", *addr)
 	err = server.Serve(ctx, server.Options{
-		Addr:           *addr,
-		Workers:        *workers,
-		GridShards:     *gridShards,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		RatePerSec:     *rate,
-		Burst:          *burst,
-		RequestTimeout: *reqTimeout,
-		DrainTimeout:   *drainTimeout,
+		Addr:            *addr,
+		Workers:         *workers,
+		GridShards:      *gridShards,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		RatePerSec:      *rate,
+		Burst:           *burst,
+		RequestTimeout:  *reqTimeout,
+		DrainTimeout:    *drainTimeout,
+		DataDir:         *dataDir,
+		QuarantineAfter: *quarantineAfter,
 	})
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintf(os.Stderr, "fsmemd: profiling: %v\n", perr)

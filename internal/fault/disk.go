@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+
+	"fsmem/internal/trace"
+)
+
+// DiskFaultKind selects how CorruptFile damages a file on disk.
+type DiskFaultKind int
+
+const (
+	// DiskTruncate cuts the file to a fraction of its length — models a
+	// crash mid-write on a filesystem without atomic rename.
+	DiskTruncate DiskFaultKind = iota
+	// DiskBitFlip flips one bit at a deterministic offset — models media
+	// rot that slips past the filesystem.
+	DiskBitFlip
+	// DiskGarbage overwrites a deterministic span with pseudorandom
+	// bytes — models a torn sector.
+	DiskGarbage
+)
+
+// String names the fault for logs and test output.
+func (k DiskFaultKind) String() string {
+	switch k {
+	case DiskTruncate:
+		return "truncate"
+	case DiskBitFlip:
+		return "bitflip"
+	case DiskGarbage:
+		return "garbage"
+	}
+	return fmt.Sprintf("DiskFaultKind(%d)", int(k))
+}
+
+// CorruptFile damages path in place per kind. The damage location is
+// deterministic in (seed, file length) so tests replay bit-for-bit; the
+// file's length is preserved for DiskBitFlip and DiskGarbage so the
+// corruption is only detectable by checksum, not by size. Corrupting an
+// empty file is a no-op for the in-place kinds.
+func CorruptFile(path string, kind DiskFaultKind, seed uint64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	rng := trace.NewRNG(seed)
+	switch kind {
+	case DiskTruncate:
+		// Keep at least one byte when possible so the reader sees a
+		// short file, not a missing one.
+		n := int64(0)
+		if len(data) > 1 {
+			n = 1 + int64(rng.Float64()*float64(len(data)-1))
+		}
+		return os.Truncate(path, n)
+	case DiskBitFlip:
+		if len(data) == 0 {
+			return nil
+		}
+		off := int(rng.Float64() * float64(len(data)))
+		bit := uint(rng.Float64() * 8)
+		data[off] ^= 1 << (bit & 7)
+	case DiskGarbage:
+		if len(data) == 0 {
+			return nil
+		}
+		off := int(rng.Float64() * float64(len(data)))
+		span := 1 + int(rng.Float64()*16)
+		for i := 0; i < span && off+i < len(data); i++ {
+			data[off+i] = byte(rng.Float64() * 256)
+		}
+	default:
+		return fmt.Errorf("fault: unknown disk fault kind %d", int(kind))
+	}
+	return os.WriteFile(path, data, info.Mode())
+}

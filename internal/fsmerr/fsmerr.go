@@ -46,6 +46,9 @@ const (
 	// CodePanic: a worker-pool cell panicked; the pool isolated it and
 	// converted the panic into this error instead of crashing the sweep.
 	CodePanic Code = "panic"
+	// CodeStorage: the daemon's durability layer (job journal or disk
+	// result store) could not persist or recover state.
+	CodeStorage Code = "storage"
 )
 
 // NoCycle marks an error that is not tied to a specific bus cycle.

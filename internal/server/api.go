@@ -121,11 +121,16 @@ const (
 	StateDone     JobState = "done"
 	StateFailed   JobState = "failed"
 	StateCanceled JobState = "canceled"
+	// StateQuarantined marks a poison job: it panicked the executor (or
+	// was running at a daemon crash) QuarantineAfter times, so it is
+	// permanently parked instead of re-executed. Resubmissions return
+	// the quarantined record without touching the queue.
+	StateQuarantined JobState = "quarantined"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateQuarantined
 }
 
 // Progress counts completed work units (simulation grid cells for
@@ -141,11 +146,14 @@ type JobStatus struct {
 	Kind     JobKind  `json:"kind"`
 	State    JobState `json:"state"`
 	Priority string   `json:"priority"`
-	// CacheHit marks a job answered from the result cache without
-	// re-simulating.
+	// CacheHit marks a job answered from the result cache (in-memory or
+	// disk store) without re-simulating.
 	CacheHit bool     `json:"cache_hit,omitempty"`
 	Progress Progress `json:"progress"`
-	Error    string   `json:"error,omitempty"`
+	// Attempts counts executor crashes attributed to this job; at the
+	// server's quarantine threshold the job moves to "quarantined".
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// ErrorCode is the fsmerr code of a failed job, for programmatic
 	// handling ("canceled", "config", ...).
 	ErrorCode string `json:"error_code,omitempty"`

@@ -11,10 +11,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsmem/internal/server"
+	"fsmem/internal/trace"
 )
 
 // APIError is a non-2xx response decoded from the server's error
@@ -23,6 +27,9 @@ type APIError struct {
 	StatusCode int
 	Code       string
 	Message    string
+	// RetryAfter is the server's backoff hint (429/503 responses carry
+	// one computed from queue depth or the rate limiter), 0 if absent.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -30,10 +37,52 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("fsmemd: %d %s: %s", e.StatusCode, e.Code, e.Message)
 }
 
+// RetryPolicy configures automatic resubmission on transient failures:
+// connection errors (the daemon is restarting) and 429/503 backpressure
+// responses. Retrying a submit is always safe — job IDs are
+// content-addressed, so a resubmission that races a surviving first
+// attempt joins the same job (singleflight) instead of duplicating
+// work.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, including
+	// the first (<= 1 disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (0 = 100ms); attempt k
+	// waits about BaseDelay * 2^(k-1), half-jittered.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff step (0 = 5s). A server Retry-After
+	// hint overrides the computed delay when it is longer, and is
+	// itself capped at 2*MaxDelay.
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic for tests (0 = 1).
+	Seed uint64
+}
+
+func (p RetryPolicy) fill() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
 // Client talks to one fsmemd instance.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	retry RetryPolicy
+
+	jitterMu sync.Mutex
+	jitter   *trace.RNG
+
+	retries   atomic.Int64
+	retryWait atomic.Int64 // nanoseconds spent backing off
 }
 
 // New builds a client for a base URL like "http://127.0.0.1:8377".
@@ -44,7 +93,81 @@ func New(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
+// EnableRetry turns on automatic retry with exponential backoff and
+// jitter for every non-streaming request.
+func (c *Client) EnableRetry(p RetryPolicy) {
+	c.retry = p.fill()
+	c.jitter = trace.NewRNG(c.retry.Seed)
+}
+
+// RetryStats reports how many requests were retried and the total time
+// spent waiting between attempts (cmd/fsload surfaces both in its
+// report).
+func (c *Client) RetryStats() (retries int64, waited time.Duration) {
+	return c.retries.Load(), time.Duration(c.retryWait.Load())
+}
+
+// retryable reports whether an attempt's failure is transient: a
+// connection-level error (daemon down or restarting — never a context
+// cancellation) or explicit server backpressure.
+func retryable(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	ae, ok := err.(*APIError)
+	if !ok {
+		return true // transport error: connection refused/reset, EOF, ...
+	}
+	return ae.StatusCode == http.StatusTooManyRequests || ae.StatusCode == http.StatusServiceUnavailable
+}
+
+// backoff computes the wait before attempt+1, honoring the server's
+// Retry-After hint when it asks for more patience than the local
+// exponential schedule.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	d := c.retry.BaseDelay << (attempt - 1)
+	if d > c.retry.MaxDelay || d <= 0 { // <= 0: shift overflow
+		d = c.retry.MaxDelay
+	}
+	// Half-jitter: [d/2, d), so synchronized clients spread out while
+	// the schedule stays roughly exponential.
+	c.jitterMu.Lock()
+	d = d/2 + time.Duration(c.jitter.Float64()*float64(d/2))
+	c.jitterMu.Unlock()
+	if ae, ok := err.(*APIError); ok && ae.RetryAfter > d {
+		d = ae.RetryAfter
+		if cap := 2 * c.retry.MaxDelay; d > cap {
+			d = cap
+		}
+	}
+	return d
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.doOnce(ctx, method, path, body, out)
+		if err == nil || attempt >= attempts || !retryable(ctx, err) {
+			return err
+		}
+		wait := c.backoff(attempt, err)
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+		c.retries.Add(1)
+		c.retryWait.Add(int64(wait))
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -70,7 +193,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		return decodeError(resp.StatusCode, data)
+		return decodeError(resp.StatusCode, data, resp.Header)
 	}
 	if out != nil {
 		if raw, ok := out.(*[]byte); ok {
@@ -82,12 +205,19 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
-func decodeError(status int, data []byte) error {
+func decodeError(status int, data []byte, hdr http.Header) error {
+	ae := &APIError{StatusCode: status, Message: strings.TrimSpace(string(data))}
 	var body server.ErrorBody
 	if json.Unmarshal(data, &body) == nil && body.Error != "" {
-		return &APIError{StatusCode: status, Code: body.Code, Message: body.Error}
+		ae.Code = body.Code
+		ae.Message = body.Error
 	}
-	return &APIError{StatusCode: status, Message: strings.TrimSpace(string(data))}
+	if hdr != nil {
+		if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
 }
 
 // Health checks /healthz.
@@ -177,7 +307,7 @@ func (c *Client) Trace(ctx context.Context, id, format string, w io.Writer) erro
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		data, _ := io.ReadAll(resp.Body)
-		return decodeError(resp.StatusCode, data)
+		return decodeError(resp.StatusCode, data, resp.Header)
 	}
 	_, err = io.Copy(w, resp.Body)
 	return err
@@ -198,7 +328,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(server.JobEvent)
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		data, _ := io.ReadAll(resp.Body)
-		return decodeError(resp.StatusCode, data)
+		return decodeError(resp.StatusCode, data, resp.Header)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)

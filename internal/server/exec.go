@@ -14,6 +14,103 @@ import (
 	"fsmem/internal/workload"
 )
 
+// execute runs one job body on the parallel engine (one cell: panic
+// isolation and ordered error semantics for free; grid-shaped jobs
+// shard further inside the cell through the same engine). It is also
+// where the durability contract is upheld: the transition to running is
+// journaled first, a finished result is persisted to the store before
+// the job is journaled done (so "done" in the journal implies the
+// result is on disk), and a job whose execution panics accumulates a
+// crash counter that quarantines it at the manager's threshold instead
+// of letting one poison config wedge the queue.
+func (m *Manager) execute(j *Job) {
+	// Belt and braces on top of the pool's cell isolation: a panic in
+	// the journaling or bookkeeping below must never kill the worker
+	// goroutine — that would silently shrink the executor pool.
+	defer func() {
+		if r := recover(); r != nil {
+			err := fsmerr.New(fsmerr.CodePanic, "server.execute", "executor panic: %v", r)
+			m.failed.Add(1)
+			j.finish(StateFailed, nil, err)
+			m.noteFinished(j.ID)
+		}
+	}()
+
+	j.mu.Lock()
+	if j.state.Terminal() { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.cancel = cancel
+	j.state = StateRunning
+	attempts := j.attempts
+	j.mu.Unlock()
+	defer cancel()
+
+	m.journalState(j.ID, StateRunning, attempts)
+	m.executed.Add(1)
+	m.inFlight.Add(1)
+	defer m.inFlight.Add(-1)
+	j.events.publish(JobEvent{Phase: string(StateRunning), State: StateRunning})
+
+	body := m.run
+	if m.testRun != nil {
+		body = m.testRun
+	}
+	results, err := parallel.Map(ctx, 1, []parallel.Cell[*cacheEntry]{{
+		Key: string(j.Req.Kind) + "/" + j.ID,
+		Run: func(ctx context.Context) (*cacheEntry, error) { return body(ctx, j) },
+	}})
+	entry := results[0]
+	switch {
+	case err == nil && entry != nil:
+		if m.store != nil {
+			if perr := m.store.Put(entry.key, entry.result); perr != nil {
+				m.storeErrors.Add(1)
+			}
+		}
+		m.cache.put(entry)
+		m.completed.Add(1)
+		j.finish(StateDone, entry, nil)
+		m.journalState(j.ID, StateDone, attempts)
+	case fsmerr.CodeOf(err) == fsmerr.CodeCanceled:
+		m.canceled.Add(1)
+		j.finish(StateCanceled, nil, err)
+		m.journalState(j.ID, StateCanceled, attempts)
+	case fsmerr.CodeOf(err) == fsmerr.CodePanic:
+		attempts = m.bumpAttempts(j.ID)
+		j.mu.Lock()
+		j.attempts = attempts
+		j.mu.Unlock()
+		if attempts >= m.quarantineAfter {
+			m.quarantined.Add(1)
+			j.finish(StateQuarantined, nil, quarantineErr(attempts))
+			m.journalState(j.ID, StateQuarantined, attempts)
+		} else {
+			m.failed.Add(1)
+			j.finish(StateFailed, nil, err)
+			m.journalState(j.ID, StateFailed, attempts)
+		}
+	default:
+		if err == nil {
+			err = fsmerr.New(fsmerr.CodeExperiment, "server.execute", "job produced no result")
+		}
+		m.failed.Add(1)
+		j.finish(StateFailed, nil, err)
+		m.journalState(j.ID, StateFailed, attempts)
+	}
+	m.noteFinished(j.ID)
+}
+
+// bumpAttempts increments a job's executor-crash counter.
+func (m *Manager) bumpAttempts(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.attempts[id]++
+	return m.attempts[id]
+}
+
 // run computes one job's result document. It runs inside a parallel
 // cell, so a panic anywhere below surfaces as a structured CodePanic
 // error and a canceled context as CodeCanceled.

@@ -25,7 +25,10 @@ func startServer(t *testing.T, o server.Options) (*client.Client, *server.Server
 	if o.RatePerSec == 0 {
 		o.RatePerSec = 100_000 // tests that don't exercise limiting never hit it
 	}
-	s := server.New(o)
+	s, err := server.New(o)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		s.Drain(context.Background())

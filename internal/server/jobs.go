@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"errors"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +32,7 @@ type Job struct {
 	mu       sync.Mutex
 	state    JobState
 	cacheHit bool
+	attempts int
 	entry    *cacheEntry
 	err      error
 }
@@ -41,6 +44,7 @@ func (j *Job) Status() JobStatus {
 	s := JobStatus{
 		ID: j.ID, Kind: j.Req.Kind, State: j.state, Priority: j.Req.Priority,
 		CacheHit: j.cacheHit,
+		Attempts: j.attempts,
 		Progress: Progress{Done: int(j.progressDone.Load()), Total: int(j.progressTotal.Load())},
 	}
 	if j.err != nil {
@@ -60,12 +64,6 @@ func (j *Job) Result() (*cacheEntry, bool) {
 // Done exposes the terminal-state signal (closed when the job finishes,
 // fails, or is canceled).
 func (j *Job) Done() <-chan struct{} { return j.done }
-
-func (j *Job) setState(s JobState) {
-	j.mu.Lock()
-	j.state = s
-	j.mu.Unlock()
-}
 
 // finish moves the job to a terminal state exactly once, publishing the
 // closing event and releasing waiters.
@@ -98,25 +96,47 @@ var (
 // executor pool. Execution itself funnels every job body through
 // internal/parallel, which supplies panic isolation and cancellation
 // semantics identical to the batch CLIs'.
+//
+// With a data directory configured, the manager is also the durability
+// layer: accepted jobs are journaled before they become runnable,
+// finished results are persisted to the content-addressed Store before
+// the job is journaled done, and a fresh manager replays the journal —
+// re-serving done work from the store, re-enqueueing interrupted work
+// (sound, because re-execution is byte-identical), and quarantining
+// jobs that keep crashing the executor.
 type Manager struct {
-	workers    int
-	gridShards int
-	cache      *resultCache
+	workers         int
+	gridShards      int
+	queueDepth      int // submission backpressure threshold
+	quarantineAfter int
+	cache           *resultCache
+
+	journal *journal
+	store   *Store
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	high, normal chan *Job
 	wg           sync.WaitGroup
+	closeOnce    sync.Once
 
 	mu       sync.Mutex
 	draining bool
 	jobs     map[string]*Job
-	finished []string // FIFO of terminal job IDs, for table eviction
+	finished []string       // FIFO of terminal job IDs, for table eviction
+	attempts map[string]int // executor-crash counters, by job ID
+
+	// testRun, when set, replaces Manager.run inside the execution cell
+	// (the quarantine tests use it to build deterministic poison jobs).
+	testRun func(context.Context, *Job) (*cacheEntry, error)
 
 	// counters for /metrics
 	submitted, executed, completed, failed, canceled atomic.Int64
-	inFlight                                         atomic.Int64
+	inFlight, quarantined                            atomic.Int64
+	recoveredRequeued, recoveredServed               atomic.Int64
+	recoveredQuarantined, journalSkipped             atomic.Int64
+	storeErrors                                      atomic.Int64
 }
 
 // maxFinished bounds how many terminal job records stay addressable;
@@ -124,33 +144,216 @@ type Manager struct {
 // LRU cache, so a resubmission is still a cache hit).
 const maxFinished = 1024
 
-// newManager builds and starts the executor pool.
-func newManager(workers, queueDepth, cacheEntries, gridShards int) *Manager {
+// defaultQuarantineAfter is how many executor crashes park a job when
+// Options.QuarantineAfter is unset.
+const defaultQuarantineAfter = 3
+
+// newManager builds the manager, recovers journaled state when a data
+// directory is configured, and starts the executor pool.
+func newManager(o Options) (*Manager, error) {
+	workers := o.Workers
 	if workers <= 0 {
 		workers = parallel.DefaultWorkers()
 	}
+	queueDepth := o.QueueDepth
 	if queueDepth <= 0 {
 		queueDepth = 64
 	}
+	gridShards := o.GridShards
 	if gridShards <= 0 {
 		gridShards = workers
 	}
+	quarantineAfter := o.QuarantineAfter
+	if quarantineAfter <= 0 {
+		quarantineAfter = defaultQuarantineAfter
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		workers:    workers,
-		gridShards: gridShards,
-		cache:      newResultCache(cacheEntries),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		high:       make(chan *Job, queueDepth),
-		normal:     make(chan *Job, queueDepth),
-		jobs:       map[string]*Job{},
+		workers:         workers,
+		gridShards:      gridShards,
+		queueDepth:      queueDepth,
+		quarantineAfter: quarantineAfter,
+		cache:           newResultCache(o.CacheEntries),
+		baseCtx:         ctx,
+		baseCancel:      cancel,
+		jobs:            map[string]*Job{},
+		attempts:        map[string]int{},
 	}
+
+	var requeue []*Job
+	if o.DataDir != "" {
+		store, err := OpenStore(filepath.Join(o.DataDir, "store"))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.store = store
+		requeue, err = m.recover(o.DataDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		jl, err := openJournal(o.DataDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.journal = jl
+	}
+
+	// The channels get headroom for recovered jobs so a restart never
+	// rejects work the previous process had already accepted; Submit
+	// enforces the policy depth itself.
+	nHigh := 0
+	for _, j := range requeue {
+		if j.Req.Priority == PriorityHigh {
+			nHigh++
+		}
+	}
+	m.high = make(chan *Job, queueDepth+nHigh)
+	m.normal = make(chan *Job, queueDepth+len(requeue)-nHigh)
+	for _, j := range requeue {
+		if j.Req.Priority == PriorityHigh {
+			m.high <- j
+		} else {
+			m.normal <- j
+		}
+		j.events.publish(JobEvent{Phase: string(StateQueued), State: StateQueued})
+	}
+
 	m.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// recover replays the journal, resolves every surviving job, compacts
+// the journal, and returns the jobs to re-enqueue in accept order.
+// Resolution per journaled job:
+//
+//   - canceled: forgotten.
+//   - done / queued / running with a verified store entry: materialized
+//     as a finished job, so a client that was polling the ID when the
+//     process died keeps getting answers instead of a 404. For queued
+//     and running jobs this covers a crash after the result was
+//     persisted but before the done record.
+//   - done without a store entry (deleted or corrupt): re-enqueued —
+//     re-execution heals the store.
+//   - running without a store entry: it may have killed the process, so
+//     its crash counter increments before it is re-enqueued; at the
+//     quarantine threshold it is parked instead, which is what breaks a
+//     poison-job crash loop.
+//   - queued without a store entry: re-enqueued unchanged.
+//   - quarantined: re-materialized as quarantined.
+//   - failed with a nonzero crash counter: the counter is preloaded so
+//     resubmissions keep progressing toward quarantine.
+func (m *Manager) recover(dataDir string) ([]*Job, error) {
+	replayed, skipped, err := replayJournal(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	m.journalSkipped.Store(int64(skipped))
+	ordered := make([]*journaledJob, 0, len(replayed))
+	for _, jj := range replayed {
+		ordered = append(ordered, jj)
+	}
+	sort.Slice(ordered, func(i, k int) bool { return ordered[i].seq < ordered[k].seq })
+
+	var requeue []*Job
+	for _, jj := range ordered {
+		switch jj.State {
+		case StateCanceled:
+			continue
+		case StateFailed:
+			if jj.Attempts > 0 {
+				m.attempts[jj.ID] = jj.Attempts
+			}
+			continue
+		case StateQuarantined:
+			m.attempts[jj.ID] = jj.Attempts
+			m.materializeQuarantined(jj.ID, jj.Key, jj.Req, jj.Attempts)
+			m.recoveredQuarantined.Add(1)
+			continue
+		}
+		// done, queued, or running: prefer the persisted result.
+		result, ok, serr := m.store.Get(jj.Key)
+		if serr != nil {
+			m.storeErrors.Add(1) // corrupt entry deleted; re-run heals it
+		}
+		if ok {
+			j := m.materializeDone(jj.ID, jj.Key, jj.Req, &cacheEntry{key: jj.Key, result: result})
+			m.cache.put(j.entry)
+			jj.State = StateDone // compaction drops it
+			m.recoveredServed.Add(1)
+			continue
+		}
+		switch jj.State {
+		case StateRunning:
+			jj.Attempts++ // it was live when the process died
+			jj.State = StateQueued
+		case StateDone:
+			jj.State = StateQueued // store entry lost: re-run to heal
+		}
+		if jj.Attempts >= m.quarantineAfter {
+			m.attempts[jj.ID] = jj.Attempts
+			m.materializeQuarantined(jj.ID, jj.Key, jj.Req, jj.Attempts)
+			jj.State = StateQuarantined
+			m.recoveredQuarantined.Add(1)
+			continue
+		}
+		if jj.Attempts > 0 {
+			m.attempts[jj.ID] = jj.Attempts
+		}
+		j := &Job{ID: jj.ID, Key: jj.Key, Req: jj.Req, events: newEventLog(), done: make(chan struct{})}
+		j.state = StateQueued
+		j.attempts = jj.Attempts
+		m.jobs[jj.ID] = j
+		requeue = append(requeue, j)
+		m.recoveredRequeued.Add(1)
+	}
+	if err := compactJournal(dataDir, ordered); err != nil {
+		return nil, err
+	}
+	return requeue, nil
+}
+
+// materializeDone installs a finished job served from persisted state.
+// Callers hold no locks (construction time) or m.mu (Submit path).
+func (m *Manager) materializeDone(id, key string, req JobRequest, entry *cacheEntry) *Job {
+	j := &Job{ID: id, Key: key, Req: req, events: newEventLog(), done: make(chan struct{})}
+	j.cacheHit = true
+	j.state = StateDone
+	j.entry = entry
+	j.progressDone.Store(1)
+	j.progressTotal.Store(1)
+	m.jobs[id] = j
+	m.rememberFinishedLocked(id)
+	j.events.publish(JobEvent{Phase: string(StateDone), State: StateDone, Done: 1, Total: 1})
+	j.events.close()
+	close(j.done)
+	return j
+}
+
+// quarantineErr is the error a quarantined job reports.
+func quarantineErr(attempts int) error {
+	return fsmerr.New(fsmerr.CodePanic, "server.quarantine",
+		"job quarantined after crashing the executor %d times; it will not be re-executed", attempts)
+}
+
+// materializeQuarantined installs a parked poison job.
+func (m *Manager) materializeQuarantined(id, key string, req JobRequest, attempts int) *Job {
+	j := &Job{ID: id, Key: key, Req: req, events: newEventLog(), done: make(chan struct{})}
+	j.state = StateQuarantined
+	j.attempts = attempts
+	j.err = quarantineErr(attempts)
+	m.jobs[id] = j
+	m.rememberFinishedLocked(id)
+	m.quarantined.Add(1)
+	j.events.publish(JobEvent{Phase: string(StateQuarantined), State: StateQuarantined, Error: j.err.Error()})
+	j.events.close()
+	close(j.done)
+	return j
 }
 
 // QueueDepth reports queued (not yet running) jobs.
@@ -160,7 +363,9 @@ func (m *Manager) QueueDepth() int { return len(m.high) + len(m.normal) }
 // when this call created a new job; false when the request joined an
 // existing live job or was answered from cache. Submit never blocks on
 // execution: a full queue fails fast with errQueueFull and a draining
-// manager with errDraining.
+// manager with errDraining. With durability enabled, the request is
+// journaled (and fsynced) before it becomes runnable — the write-ahead
+// step that makes accepted jobs survive a crash.
 func (m *Manager) Submit(req JobRequest) (*Job, bool, error) {
 	key, err := req.normalize()
 	if err != nil {
@@ -176,10 +381,14 @@ func (m *Manager) Submit(req JobRequest) (*Job, bool, error) {
 	m.submitted.Add(1)
 	if j, ok := m.jobs[id]; ok {
 		j.mu.Lock()
-		terminal := j.state.Terminal()
+		state := j.state
 		j.mu.Unlock()
-		if !terminal {
+		if !state.Terminal() {
 			// Live job: join it (this is the singleflight).
+			return j, false, nil
+		}
+		if state == StateQuarantined {
+			// Poison stays parked; resubmission reports the verdict.
 			return j, false, nil
 		}
 		// Terminal: a done job is re-answered from the cache below (a
@@ -188,36 +397,64 @@ func (m *Manager) Submit(req JobRequest) (*Job, bool, error) {
 		// retry with a fresh attempt.
 	}
 
-	j := &Job{ID: id, Key: key, Req: req, events: newEventLog(), done: make(chan struct{})}
 	if entry, ok := m.cache.get(key); ok {
 		// Warm path: materialize a finished job straight from cache.
-		j.cacheHit = true
-		j.state = StateDone
-		j.entry = entry
-		j.progressDone.Store(1)
-		j.progressTotal.Store(1)
-		m.jobs[id] = j
-		m.rememberFinishedLocked(id)
-		j.events.publish(JobEvent{Phase: string(StateDone), State: StateDone, Done: 1, Total: 1})
-		j.events.close()
-		close(j.done)
-		return j, true, nil
+		return m.materializeDone(id, key, req, entry), true, nil
+	}
+	if result, ok, serr := m.store.Get(key); ok {
+		// Disk path: the store outlives both the LRU and the process.
+		entry := &cacheEntry{key: key, result: result}
+		m.cache.put(entry)
+		return m.materializeDone(id, key, req, entry), true, nil
+	} else if serr != nil {
+		m.storeErrors.Add(1) // corrupt entry deleted; re-simulate below
+	}
+	if m.attempts[id] >= m.quarantineAfter {
+		// The poison verdict survives table eviction and restarts.
+		m.journalAccept(id, key, req)
+		m.journalState(id, StateQuarantined, m.attempts[id])
+		return m.materializeQuarantined(id, key, req, m.attempts[id]), true, nil
 	}
 
-	j.state = StateQueued
 	queue := m.normal
 	if req.Priority == PriorityHigh {
 		queue = m.high
 	}
-	select {
-	case queue <- j:
-	default:
+	// All senders hold m.mu, so the depth check below cannot race with
+	// another enqueue: once it passes, the send cannot block.
+	if len(queue) >= m.queueDepth {
 		m.submitted.Add(-1)
 		return nil, false, errQueueFull
 	}
+	if err := m.journalAccept(id, key, req); err != nil {
+		m.submitted.Add(-1)
+		return nil, false, err
+	}
+	j := &Job{ID: id, Key: key, Req: req, events: newEventLog(), done: make(chan struct{})}
+	j.state = StateQueued
+	j.attempts = m.attempts[id]
+	queue <- j
 	m.jobs[id] = j
 	j.events.publish(JobEvent{Phase: string(StateQueued), State: StateQueued})
 	return j, true, nil
+}
+
+// journalAccept appends the write-ahead accept record.
+func (m *Manager) journalAccept(id, key string, req JobRequest) error {
+	if err := m.journal.accept(id, key, req); err != nil {
+		m.storeErrors.Add(1)
+		return err
+	}
+	return nil
+}
+
+// journalState appends a lifecycle transition, counting (but not
+// failing on) append errors: the job already ran, losing the record
+// only costs a redundant re-execution after a crash.
+func (m *Manager) journalState(id string, s JobState, attempts int) {
+	if err := m.journal.state(id, s, attempts); err != nil {
+		m.storeErrors.Add(1)
+	}
 }
 
 // Get returns a job by ID.
@@ -248,6 +485,7 @@ func (m *Manager) Cancel(id string) bool {
 	// Still queued: finish it now; the worker skips terminal jobs.
 	m.canceled.Add(1)
 	j.finish(StateCanceled, nil, fsmerr.New(fsmerr.CodeCanceled, "server.Cancel", "job canceled before start"))
+	m.journalState(j.ID, StateCanceled, 0)
 	m.noteFinished(j.ID)
 	return true
 }
@@ -315,49 +553,6 @@ func (m *Manager) worker() {
 	}
 }
 
-// execute runs one job body on the parallel engine (one cell: panic
-// isolation and ordered error semantics for free; grid-shaped jobs
-// shard further inside the cell through the same engine).
-func (m *Manager) execute(j *Job) {
-	j.mu.Lock()
-	if j.state.Terminal() { // canceled while queued
-		j.mu.Unlock()
-		return
-	}
-	ctx, cancel := context.WithCancel(m.baseCtx)
-	j.cancel = cancel
-	j.state = StateRunning
-	j.mu.Unlock()
-	defer cancel()
-
-	m.executed.Add(1)
-	m.inFlight.Add(1)
-	defer m.inFlight.Add(-1)
-	j.events.publish(JobEvent{Phase: string(StateRunning), State: StateRunning})
-
-	results, err := parallel.Map(ctx, 1, []parallel.Cell[*cacheEntry]{{
-		Key: string(j.Req.Kind) + "/" + j.ID,
-		Run: func(ctx context.Context) (*cacheEntry, error) { return m.run(ctx, j) },
-	}})
-	entry := results[0]
-	switch {
-	case err == nil && entry != nil:
-		m.cache.put(entry)
-		m.completed.Add(1)
-		j.finish(StateDone, entry, nil)
-	case fsmerr.CodeOf(err) == fsmerr.CodeCanceled:
-		m.canceled.Add(1)
-		j.finish(StateCanceled, nil, err)
-	default:
-		if err == nil {
-			err = fsmerr.New(fsmerr.CodeExperiment, "server.execute", "job produced no result")
-		}
-		m.failed.Add(1)
-		j.finish(StateFailed, nil, err)
-	}
-	m.noteFinished(j.ID)
-}
-
 // Draining reports whether the manager has begun shutting down.
 func (m *Manager) Draining() bool {
 	m.mu.Lock()
@@ -384,12 +579,34 @@ func (m *Manager) Drain(ctx context.Context) error {
 		m.wg.Wait()
 		close(workersDone)
 	}()
+	var err error
 	select {
 	case <-workersDone:
-		return nil
 	case <-ctx.Done():
 		m.baseCancel() // hard-cancel stragglers, then wait them out
 		<-workersDone
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	m.closeOnce.Do(func() { m.journal.close() })
+	return err
+}
+
+// crash simulates a SIGKILL for the recovery tests: the durability
+// layer stops writing (as if the process died), every running job is
+// hard-canceled, and the workers exit. On-disk state is frozen exactly
+// as a real crash would leave it; a fresh manager over the same data
+// directory must recover from it.
+func (m *Manager) crash() {
+	m.journal.disable()
+	m.store.disable()
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.high)
+		close(m.normal)
+	}
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+	m.closeOnce.Do(func() { m.journal.close() })
 }

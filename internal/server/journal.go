@@ -1,0 +1,284 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"fsmem/internal/fsmerr"
+)
+
+// The job journal is fsmemd's write-ahead log: every accepted JobRequest
+// is appended (and fsynced) before it is enqueued, and every state
+// transition is appended as the job moves through its lifecycle. After a
+// crash, replaying the journal reconstructs exactly which jobs were
+// accepted and how far they got; because simulation output is a
+// byte-deterministic function of the request, re-executing a journaled
+// job is guaranteed to reproduce the identical result document, so
+// recovery never needs an undo log — replay is always sound.
+//
+// Format: JSONL, one record per line, each line prefixed with the CRC32
+// (IEEE) of its JSON payload in fixed-width hex:
+//
+//	crc32 <space> {"op":"accept","id":"j...","key":"...","req":{...}}
+//	crc32 <space> {"op":"state","id":"j...","state":"done","attempts":0}
+//
+// A torn or bit-flipped line fails its checksum and is skipped (counted)
+// during replay; a "state" record whose job was never accepted is an
+// orphan and is also skipped. On startup the journal is compacted: done,
+// canceled, and cleanly failed jobs are dropped (results live in the
+// Store; failures are reproducible), while queued/running/quarantined
+// jobs and failure counters survive as fresh records in a new file
+// written atomically beside the old one.
+
+// journalRecord is one journal line's JSON payload.
+type journalRecord struct {
+	Op       string      `json:"op"` // "accept" or "state"
+	ID       string      `json:"id"`
+	Key      string      `json:"key,omitempty"`
+	Req      *JobRequest `json:"req,omitempty"`
+	State    JobState    `json:"state,omitempty"`
+	Attempts int         `json:"attempts,omitempty"`
+}
+
+// journaledJob is one job's reconstructed lifecycle after replay.
+type journaledJob struct {
+	ID       string
+	Key      string
+	Req      JobRequest
+	State    JobState
+	Attempts int
+	seq      int // accept order, for deterministic re-enqueue
+}
+
+// journal is the append-side handle. Appends are serialized and fsynced;
+// the file is only ever read (and compacted) at startup, before any
+// appender exists.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+
+	// disabled drops appends; the crash tests use it to freeze the
+	// on-disk journal the way a SIGKILL would.
+	disabled atomic.Bool
+
+	appends atomic.Int64
+}
+
+const journalName = "journal.jsonl"
+
+// openJournal opens (creating if needed) the journal file for appending.
+func openJournal(dir string) (*journal, error) {
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeStorage, "server.openJournal", err)
+	}
+	return &journal{f: f, path: path}, nil
+}
+
+// append writes one checksummed record and fsyncs it.
+func (j *journal) append(rec journalRecord) error {
+	if j == nil || j.disabled.Load() {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.journal.append", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.WriteString(line); err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.journal.append", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.journal.append", err)
+	}
+	j.appends.Add(1)
+	return nil
+}
+
+// accept journals a job acceptance (the write-ahead step of Submit).
+func (j *journal) accept(id, key string, req JobRequest) error {
+	return j.append(journalRecord{Op: "accept", ID: id, Key: key, Req: &req})
+}
+
+// state journals a lifecycle transition.
+func (j *journal) state(id string, s JobState, attempts int) error {
+	return j.append(journalRecord{Op: "state", ID: id, State: s, Attempts: attempts})
+}
+
+// appendCount reads the append counter for the metrics endpoint.
+func (j *journal) appendCount() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.appends.Load()
+}
+
+// disable drops all subsequent appends (crash simulation for tests).
+func (j *journal) disable() {
+	if j != nil {
+		j.disabled.Store(true)
+	}
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// parseJournalLine decodes one checksummed line. ok=false means the
+// line is torn or corrupt and must be skipped.
+func parseJournalLine(line []byte) (journalRecord, bool) {
+	var rec journalRecord
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return rec, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return rec, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, false
+	}
+	if rec.ID == "" || (rec.Op != "accept" && rec.Op != "state") {
+		return rec, false
+	}
+	return rec, true
+}
+
+// replayJournal reads a journal file and folds it into per-job final
+// states. Corrupt lines, orphan state records, and accept records whose
+// request no longer normalizes are skipped and counted — a damaged
+// journal degrades to losing the damaged jobs, never to a failed boot.
+// A missing file is an empty journal.
+func replayJournal(dir string) (jobs map[string]*journaledJob, skipped int, err error) {
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if os.IsNotExist(err) {
+		return map[string]*journaledJob{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fsmerr.Wrap(fsmerr.CodeStorage, "server.replayJournal", err)
+	}
+	defer f.Close()
+
+	jobs = map[string]*journaledJob{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	seq := 0
+	for sc.Scan() {
+		rec, ok := parseJournalLine(sc.Bytes())
+		if !ok {
+			skipped++
+			continue
+		}
+		switch rec.Op {
+		case "accept":
+			if rec.Req == nil {
+				skipped++
+				continue
+			}
+			req := *rec.Req
+			key, err := req.normalize()
+			if err != nil || jobID(key) != rec.ID {
+				skipped++
+				continue
+			}
+			if _, dup := jobs[rec.ID]; !dup {
+				jobs[rec.ID] = &journaledJob{ID: rec.ID, Key: key, Req: req, State: StateQueued, seq: seq}
+				seq++
+			}
+		case "state":
+			jj, ok := jobs[rec.ID]
+			if !ok {
+				skipped++ // orphan: its accept record was lost
+				continue
+			}
+			jj.State = rec.State
+			jj.Attempts = rec.Attempts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fsmerr.Wrap(fsmerr.CodeStorage, "server.replayJournal", err)
+	}
+	return jobs, skipped, nil
+}
+
+// compactJournal atomically rewrites the journal to hold only the jobs
+// worth remembering across restarts: non-terminal jobs (they will be
+// re-enqueued), quarantined jobs (so the poison verdict sticks), and
+// failed jobs with a nonzero failure count (so a crash does not reset
+// the road to quarantine). Records are written in original accept order.
+func compactJournal(dir string, jobs []*journaledJob) error {
+	path := filepath.Join(dir, journalName)
+	tmp, err := os.CreateTemp(dir, "journal-*")
+	if err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.compactJournal", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	writeRec := func(rec journalRecord) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+		return err
+	}
+	for _, jj := range jobs {
+		if !keepInJournal(jj) {
+			continue
+		}
+		if err := writeRec(journalRecord{Op: "accept", ID: jj.ID, Key: jj.Key, Req: &jj.Req}); err != nil {
+			return fsmerr.Wrap(fsmerr.CodeStorage, "server.compactJournal", err)
+		}
+		if jj.State != StateQueued || jj.Attempts != 0 {
+			if err := writeRec(journalRecord{Op: "state", ID: jj.ID, State: jj.State, Attempts: jj.Attempts}); err != nil {
+				return fsmerr.Wrap(fsmerr.CodeStorage, "server.compactJournal", err)
+			}
+		}
+	}
+	err = w.Flush()
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.compactJournal", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.compactJournal", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// keepInJournal decides which replayed jobs a compaction preserves.
+func keepInJournal(jj *journaledJob) bool {
+	switch jj.State {
+	case StateQueued, StateRunning, StateQuarantined:
+		return true
+	case StateFailed:
+		return jj.Attempts > 0
+	default: // done and canceled jobs need no memory
+		return false
+	}
+}

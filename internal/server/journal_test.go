@@ -1,0 +1,264 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalJob normalizes a small request and returns everything a
+// journal record needs.
+func journalJob(t *testing.T, seed uint64) (id, key string, req JobRequest) {
+	t.Helper()
+	req = smallSim(seed)
+	key, err := req.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobID(key), key, req
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, keyA, reqA := journalJob(t, 1)
+	idB, keyB, reqB := journalJob(t, 2)
+	if err := jl.accept(idA, keyA, reqA); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.state(idA, StateRunning, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.state(idA, StateDone, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.accept(idB, keyB, reqB); err != nil {
+		t.Fatal(err)
+	}
+	if got := jl.appendCount(); got != 4 {
+		t.Fatalf("appendCount = %d, want 4", got)
+	}
+	if err := jl.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, skipped, err := replayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", skipped)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	a, b := jobs[idA], jobs[idB]
+	if a == nil || a.State != StateDone || a.Key != keyA {
+		t.Fatalf("job A replayed as %+v", a)
+	}
+	if b == nil || b.State != StateQueued || b.Key != keyB {
+		t.Fatalf("job B replayed as %+v", b)
+	}
+	if a.seq >= b.seq {
+		t.Fatalf("accept order lost: seq %d vs %d", a.seq, b.seq)
+	}
+	// The replayed request must round-trip to the same identity.
+	k, err := a.Req.normalize()
+	if err != nil || k != keyA || jobID(k) != idA {
+		t.Fatalf("replayed request renormalizes to %q (%v)", k, err)
+	}
+}
+
+// TestJournalSkipsDamage pins the degradation contract: torn lines,
+// bit-flipped lines, orphan state records, and accept records that no
+// longer normalize are each skipped and counted — never a failed boot.
+func TestJournalSkipsDamage(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, keyA, reqA := journalJob(t, 1)
+	idB, keyB, reqB := journalJob(t, 2)
+	if err := jl.accept(idA, keyA, reqA); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.accept(idB, keyB, reqB); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.state(idA, StateDone, 0); err != nil {
+		t.Fatal(err)
+	}
+	// An orphan state record (its accept was never written).
+	if err := jl.state("jdeadbeef00000000", StateRunning, 1); err != nil {
+		t.Fatal(err)
+	}
+	// An accept whose request no longer normalizes (valid CRC).
+	if err := jl.append(journalRecord{Op: "accept", ID: "jfeedface00000000", Key: "k", Req: &JobRequest{Kind: "nope"}}); err != nil {
+		t.Fatal(err)
+	}
+	// An accept whose ID does not match its key (tampered).
+	if err := jl.append(journalRecord{Op: "accept", ID: "j0000000000000000", Key: keyA, Req: &reqA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-flip job B's accept line and append a torn fragment, as a
+	// crash mid-append would leave it.
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = strings.Replace(lines[1], `"op":"accept"`, `"op":"accepX"`, 1)
+	damaged := strings.Join(lines, "") + "00a1b2c3 {\"op\":\"accept\",\"id\":\"jtr" // torn mid-line
+	if err := os.WriteFile(path, []byte(damaged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, skipped, err := replayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damaged: B's flipped accept, the orphan state, the bad-kind
+	// accept, the ID-mismatch accept, the torn tail.
+	if skipped != 5 {
+		t.Fatalf("skipped = %d, want 5", skipped)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("replayed %d jobs, want 1 (only A survives)", len(jobs))
+	}
+	if a := jobs[idA]; a == nil || a.State != StateDone {
+		t.Fatalf("job A replayed as %+v", jobs[idA])
+	}
+	_ = idB
+}
+
+// TestJournalCompaction pins what survives a compaction: queued,
+// running, and quarantined jobs plus failed jobs with a nonzero crash
+// counter; done, canceled, and cleanly failed jobs are dropped.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		state    JobState
+		attempts int
+		keep     bool
+	}
+	cases := map[uint64]want{
+		1: {StateDone, 0, false},
+		2: {StateCanceled, 0, false},
+		3: {StateQueued, 0, true},
+		4: {StateRunning, 1, true},
+		5: {StateQuarantined, 3, true},
+		6: {StateFailed, 2, true},
+		7: {StateFailed, 0, false}, // clean failure is reproducible, no memory needed
+	}
+	ids := map[uint64]string{}
+	for seed := uint64(1); seed <= 7; seed++ {
+		id, key, req := journalJob(t, seed)
+		ids[seed] = id
+		if err := jl.accept(id, key, req); err != nil {
+			t.Fatal(err)
+		}
+		w := cases[seed]
+		if w.state != StateQueued {
+			if err := jl.state(id, w.state, w.attempts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := jl.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, _, err := replayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := make([]*journaledJob, 0, len(jobs))
+	for _, jj := range jobs {
+		ordered = append(ordered, jj)
+	}
+	if err := compactJournal(dir, ordered); err != nil {
+		t.Fatal(err)
+	}
+
+	after, skipped, err := replayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("compacted journal has %d damaged lines", skipped)
+	}
+	for seed, w := range cases {
+		jj, ok := after[ids[seed]]
+		if ok != w.keep {
+			t.Errorf("seed %d (%s): kept=%v, want %v", seed, w.state, ok, w.keep)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if jj.State != w.state || jj.Attempts != w.attempts {
+			t.Errorf("seed %d: replayed %s/%d, want %s/%d", seed, jj.State, jj.Attempts, w.state, w.attempts)
+		}
+	}
+	// Compacting a journal of only-droppable jobs leaves an empty file.
+	done := []*journaledJob{{ID: "j1", State: StateDone}}
+	if err := compactJournal(dir, done); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("fully-compacted journal holds %d bytes: %q", len(data), data)
+	}
+}
+
+func TestParseJournalLine(t *testing.T) {
+	id, key, req := journalJob(t, 1)
+	dir := t.TempDir()
+	jl, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.accept(id, key, req); err != nil {
+		t.Fatal(err)
+	}
+	jl.close()
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := strings.TrimSuffix(string(data), "\n")
+	if rec, ok := parseJournalLine([]byte(valid)); !ok || rec.ID != id {
+		t.Fatalf("valid line rejected: %+v %v", rec, ok)
+	}
+	bad := []string{
+		"",
+		"short",
+		"xxxxxxxx {\"op\":\"accept\",\"id\":\"j1\"}",  // non-hex checksum
+		"00000000 {\"op\":\"accept\",\"id\":\"j1\"}",  // wrong checksum
+		"0ef265e1 not json",                           // checksum of garbage won't match either
+		valid[:len(valid)/2],                          // torn
+		strings.Replace(valid, "accept", "accepX", 1), // payload flipped under old checksum
+	}
+	for _, line := range bad {
+		if _, ok := parseJournalLine([]byte(line)); ok {
+			t.Errorf("damaged line accepted: %q", line)
+		}
+	}
+}

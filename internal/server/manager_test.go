@@ -23,6 +23,16 @@ func smallSim(seed uint64) JobRequest {
 	return JobRequest{Kind: KindSimulate, Simulate: &e}
 }
 
+// mustManager builds a manager or fails the test.
+func mustManager(t *testing.T, o Options) *Manager {
+	t.Helper()
+	m, err := newManager(o)
+	if err != nil {
+		t.Fatalf("newManager: %v", err)
+	}
+	return m
+}
+
 func waitJob(t *testing.T, j *Job) JobStatus {
 	t.Helper()
 	select {
@@ -83,7 +93,7 @@ func TestNormalizeRejectsBadRequests(t *testing.T) {
 // identical submissions collapse into one job and exactly one
 // simulation.
 func TestManagerDedup(t *testing.T) {
-	m := newManager(2, 16, 16, 1)
+	m := mustManager(t, Options{Workers: 2, QueueDepth: 16, CacheEntries: 16, GridShards: 1})
 	defer m.Drain(context.Background())
 
 	const n = 16
@@ -140,7 +150,7 @@ func TestManagerDedup(t *testing.T) {
 // TestManagerDrain pins the drain contract: accepted jobs (running or
 // still queued) finish, new submissions fail with errDraining.
 func TestManagerDrain(t *testing.T) {
-	m := newManager(1, 16, 16, 1)
+	m := mustManager(t, Options{Workers: 1, QueueDepth: 16, CacheEntries: 16, GridShards: 1})
 	a, _, err := m.Submit(smallSim(21))
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +178,7 @@ func TestManagerDrain(t *testing.T) {
 }
 
 func TestManagerCancelQueued(t *testing.T) {
-	m := newManager(1, 16, 16, 1)
+	m := mustManager(t, Options{Workers: 1, QueueDepth: 16, CacheEntries: 16, GridShards: 1})
 	defer m.Drain(context.Background())
 	// Occupy the single worker so the second job stays queued.
 	a, _, err := m.Submit(JobRequest{Kind: KindSimulate, Simulate: func() *config.Experiment {
@@ -211,7 +221,7 @@ func TestManagerCancelQueued(t *testing.T) {
 }
 
 func TestManagerQueueFull(t *testing.T) {
-	m := newManager(1, 1, 16, 1)
+	m := mustManager(t, Options{Workers: 1, QueueDepth: 1, CacheEntries: 16, GridShards: 1})
 	defer m.Drain(context.Background())
 	// One running + one queued fills the depth-1 queue; the third
 	// distinct submission must fail fast.
@@ -263,15 +273,16 @@ func TestResultCacheLRU(t *testing.T) {
 
 func TestTokenBucket(t *testing.T) {
 	now := time.Unix(1000, 0)
-	b := newTokenBucket(10, 2)
-	b.now = func() time.Time { return now }
-	b.last = now
-	b.tokens = b.burst
+	b := newTokenBucket(10, 2, func() time.Time { return now })
 	if !b.allow() || !b.allow() {
 		t.Fatal("burst tokens rejected")
 	}
 	if b.allow() {
 		t.Fatal("empty bucket allowed a request")
+	}
+	// The Retry-After hint is the exact deterministic refill time.
+	if ra := b.retryAfter(); ra != 100*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 100ms", ra)
 	}
 	now = now.Add(100 * time.Millisecond) // refills 1 token at 10/s
 	if !b.allow() {

@@ -7,41 +7,64 @@ import (
 
 // tokenBucket is the submission rate limiter: capacity burst tokens,
 // refilled at rate tokens/second. Allow is O(1) and lock-cheap — it is
-// on the request path of every POST /v1/jobs.
+// on the request path of every POST /v1/jobs. The clock is injected at
+// construction so the rate-limit tests (and the Retry-After math) are
+// deterministic instead of sleeping real wall time.
 type tokenBucket struct {
 	mu     sync.Mutex
 	rate   float64 // tokens per second
 	burst  float64
 	tokens float64
 	last   time.Time
-	now    func() time.Time // injectable for tests
+	now    func() time.Time
 }
 
-func newTokenBucket(rate, burst float64) *tokenBucket {
+// newTokenBucket builds a full bucket. now may be nil (= time.Now).
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
 	if rate <= 0 {
 		rate = 50
 	}
 	if burst <= 0 {
 		burst = rate
 	}
-	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	if now == nil {
+		now = time.Now
+	}
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: now}
 	b.last = b.now()
 	return b
 }
 
-// allow takes one token if available.
-func (b *tokenBucket) allow() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// refillLocked advances the bucket to the current clock reading.
+func (b *tokenBucket) refillLocked() {
 	now := b.now()
 	b.tokens += now.Sub(b.last).Seconds() * b.rate
 	b.last = now
 	if b.tokens > b.burst {
 		b.tokens = b.burst
 	}
+}
+
+// allow takes one token if available.
+func (b *tokenBucket) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
 	if b.tokens < 1 {
 		return false
 	}
 	b.tokens--
 	return true
+}
+
+// retryAfter reports how long until the next token exists — the
+// server's Retry-After hint on a rate_limited rejection.
+func (b *tokenBucket) retryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
 }

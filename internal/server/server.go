@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +38,19 @@ type Options struct {
 	// DrainTimeout bounds graceful drain: in-flight and queued jobs get
 	// this long to finish before they are canceled (0 = 60s).
 	DrainTimeout time.Duration
+	// DataDir enables crash-safe durability: accepted jobs are journaled
+	// (write-ahead) under it and finished results are persisted to a
+	// content-addressed disk store, so a restarted daemon re-serves done
+	// work byte-identically and re-enqueues interrupted work. Empty
+	// keeps the daemon fully in-memory (the pre-durability behavior).
+	DataDir string
+	// QuarantineAfter is how many executor crashes (panics, or being
+	// mid-run when the process dies) park a job as "quarantined" instead
+	// of re-executing it (0 = 3).
+	QuarantineAfter int
+	// now overrides the clock for the rate limiter and Retry-After
+	// computation (tests; nil = time.Now).
+	now func() time.Time
 }
 
 func (o *Options) fill() {
@@ -67,17 +81,23 @@ type Server struct {
 
 // New assembles a Server (the executor pool starts immediately; use
 // Drain to stop it). The returned server's Handler can be mounted on
-// any listener — the tests use httptest.
-func New(o Options) *Server {
+// any listener — the tests use httptest. With Options.DataDir set, New
+// first recovers journaled state from a previous process: it only
+// errors when that durability layer cannot be opened.
+func New(o Options) (*Server, error) {
 	o.fill()
+	m, err := newManager(o)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		opts:    o,
-		manager: newManager(o.Workers, o.QueueDepth, o.CacheEntries, o.GridShards),
-		bucket:  newTokenBucket(o.RatePerSec, o.Burst),
+		manager: m,
+		bucket:  newTokenBucket(o.RatePerSec, o.Burst, o.now),
 	}
 	s.buildMetrics()
 	s.buildRoutes()
-	return s
+	return s, nil
 }
 
 // Manager exposes the job manager (tests and fsmem.Serve use it).
@@ -107,6 +127,19 @@ func (s *Server) buildMetrics() {
 			ratio = float64(hits) / float64(hits+misses)
 		}
 		emit("cache.hit_ratio", ratio)
+		emit("jobs.quarantined", float64(m.quarantined.Load()))
+		emit("recovery.requeued", float64(m.recoveredRequeued.Load()))
+		emit("recovery.served_from_store", float64(m.recoveredServed.Load()))
+		emit("recovery.quarantined", float64(m.recoveredQuarantined.Load()))
+		emit("journal.appends", float64(m.journal.appendCount()))
+		emit("journal.corrupt_skipped", float64(m.journalSkipped.Load()))
+		sEntries, sHits, sMisses, sCorrupt, sWrites := m.store.Stats()
+		emit("store.entries", float64(sEntries))
+		emit("store.hits", float64(sHits))
+		emit("store.misses", float64(sMisses))
+		emit("store.corrupt", float64(sCorrupt))
+		emit("store.writes", float64(sWrites))
+		emit("store.errors", float64(m.storeErrors.Load()))
 		emit("http.requests", float64(s.httpRequests.Load()))
 		emit("http.rate_limited", float64(s.rateLimited.Load()))
 		draining := 0.0
@@ -183,10 +216,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.WritePrometheus(w, s.registry.Snapshot())
 }
 
+// queueRetryAfter estimates how long a rejected client should back off
+// before the queue has drained enough to accept it: the current depth
+// spread across the worker pool, clamped to [1s, 30s]. It is a load
+// signal, not a promise — the client's jittered backoff rides on it.
+func (s *Server) queueRetryAfter() time.Duration {
+	d := time.Duration(1+s.manager.QueueDepth()/s.manager.workers) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// setRetryAfter stamps the Retry-After header in whole seconds.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.bucket.allow() {
 		s.rateLimited.Add(1)
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, s.bucket.retryAfter())
 		writeError(w, http.StatusTooManyRequests, "rate_limited", "submission rate limit exceeded")
 		return
 	}
@@ -200,11 +254,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, created, err := s.manager.Submit(req)
 	switch {
 	case errors.Is(err, errDraining):
+		setRetryAfter(w, 2*time.Second) // a replacement process may be recovering
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, s.queueRetryAfter())
 		writeError(w, http.StatusTooManyRequests, "queue_full", "job queue is full")
+		return
+	case fsmerr.CodeOf(err) == fsmerr.CodeStorage:
+		writeError(w, http.StatusInternalServerError, string(fsmerr.CodeStorage), "%v", err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, string(fsmerr.CodeOf(err)), "%v", err)
@@ -325,7 +383,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // jobs finish (bounded by DrainTimeout), and the HTTP server shuts
 // down. A clean drain returns nil.
 func Serve(ctx context.Context, o Options) error {
-	s := New(o)
+	s, err := New(o)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", s.opts.Addr)
 	if err != nil {
 		return err

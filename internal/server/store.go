@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fsmem/internal/fsmerr"
+)
+
+// Store is the disk-backed content-addressed result store layered under
+// the in-memory LRU: every finished job's canonical result document is
+// written here before the job is journaled done, so a restarted daemon
+// re-serves previously computed results byte-identically without
+// re-simulating.
+//
+// Each entry is one file named by the SHA-256 of the content key. The
+// file carries a JSON header line (key, payload length, payload SHA-256)
+// followed by the raw result bytes. Writes are atomic (temp file in the
+// same directory + rename) and fsynced; reads verify the embedded
+// checksum and length, and a corrupt entry is deleted on sight so the
+// next submission transparently re-simulates (sound because simulation
+// output is byte-deterministic).
+//
+// Store is exported so the root-package benchmarks can pin the
+// read-verify path (BenchmarkStoreReadVerify); traces of observed jobs
+// are not persisted — only the result document is.
+type Store struct {
+	dir string
+
+	// disabled drops writes; the crash tests use it to freeze on-disk
+	// state the way a SIGKILL would.
+	disabled atomic.Bool
+
+	mu      sync.Mutex // serializes writers per store (renames are cheap)
+	entries atomic.Int64
+
+	hits, misses, corrupt, writes atomic.Int64
+}
+
+// storeHeader is the first line of every entry file.
+type storeHeader struct {
+	Key    string `json:"key"`
+	Len    int    `json:"len"`
+	SHA256 string `json:"sha256"`
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeStorage, "server.OpenStore", err)
+	}
+	s := &Store{dir: dir}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeStorage, "server.OpenStore", err)
+	}
+	n := 0
+	for _, e := range names {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), storeExt) {
+			n++
+		}
+	}
+	s.entries.Store(int64(n))
+	return s, nil
+}
+
+const storeExt = ".res"
+
+// Path returns the entry file path for a content key (the disk-fault
+// injector corrupts entries through it).
+func (s *Store) Path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+storeExt)
+}
+
+// Put atomically persists one result document under its content key.
+// Rewriting an existing key is fine (deterministic replay produces the
+// same bytes, so the result is unchanged either way).
+func (s *Store) Put(key string, result []byte) error {
+	if s == nil || s.disabled.Load() {
+		return nil
+	}
+	sum := sha256.Sum256(result)
+	hdr, err := json.Marshal(storeHeader{Key: key, Len: len(result), SHA256: hex.EncodeToString(sum[:])})
+	if err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.Store.Put", err)
+	}
+	path := s.Path(key)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.Store.Put", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, err = tmp.Write(append(append(hdr, '\n'), result...))
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.Store.Put", err)
+	}
+	_, statErr := os.Stat(path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fsmerr.Wrap(fsmerr.CodeStorage, "server.Store.Put", err)
+	}
+	syncDir(s.dir)
+	s.writes.Add(1)
+	if statErr != nil { // the key was not on disk before this rename
+		s.entries.Add(1)
+	}
+	return nil
+}
+
+// Get reads and verifies the entry for key. A missing entry is a plain
+// miss (nil, false, nil). A corrupt entry — unparsable header, length
+// mismatch, or checksum mismatch — is counted, deleted, and reported as
+// a miss with a CodeStorage error describing the corruption, so the
+// caller can log it and transparently re-simulate.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	if s == nil {
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		s.misses.Add(1)
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fsmerr.Wrap(fsmerr.CodeStorage, "server.Store.Get", err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false, s.quarantineCorrupt(key, "no header line")
+	}
+	var hdr storeHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, false, s.quarantineCorrupt(key, "unparsable header: %v", err)
+	}
+	payload := data[nl+1:]
+	if hdr.Key != key {
+		return nil, false, s.quarantineCorrupt(key, "header key %q does not match", hdr.Key)
+	}
+	if len(payload) != hdr.Len {
+		return nil, false, s.quarantineCorrupt(key, "payload is %d bytes, header says %d", len(payload), hdr.Len)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != hdr.SHA256 {
+		return nil, false, s.quarantineCorrupt(key, "payload checksum mismatch")
+	}
+	s.hits.Add(1)
+	return payload, true, nil
+}
+
+// quarantineCorrupt deletes a corrupt entry (the content is
+// reproducible, so deletion is always safe) and reports it.
+func (s *Store) quarantineCorrupt(key, format string, args ...any) error {
+	s.corrupt.Add(1)
+	s.misses.Add(1)
+	if os.Remove(s.Path(key)) == nil {
+		s.entries.Add(-1)
+	}
+	return fsmerr.New(fsmerr.CodeStorage, "server.Store.Get",
+		"corrupt entry for key %q deleted: %s", key, fmt.Sprintf(format, args...))
+}
+
+// Stats reads the store counters for the metrics endpoint.
+func (s *Store) Stats() (entries, hits, misses, corrupt, writes int64) {
+	if s == nil {
+		return 0, 0, 0, 0, 0
+	}
+	return s.entries.Load(), s.hits.Load(), s.misses.Load(), s.corrupt.Load(), s.writes.Load()
+}
+
+// disable drops all subsequent writes (crash simulation for tests).
+func (s *Store) disable() {
+	if s != nil {
+		s.disabled.Store(true)
+	}
+}
+
+// syncDir best-effort fsyncs a directory so renames are durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"fsmem/internal/fault"
+	"fsmem/internal/fsmerr"
+)
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "sim|mcf|fs_bp|c2|r300|s1"
+	payload := []byte(`{"result":"payload without trailing newline"}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get = ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get returned %q, want %q", got, payload)
+	}
+	// Rewriting the same key is idempotent (deterministic replay
+	// produces identical bytes) and does not double-count the entry.
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	entries, hits, misses, corrupt, writes := s.Stats()
+	if entries != 1 || hits != 1 || misses != 0 || corrupt != 0 || writes != 2 {
+		t.Fatalf("stats = %d/%d/%d/%d/%d, want 1/1/0/0/2", entries, hits, misses, corrupt, writes)
+	}
+
+	// A reopened store over the same directory still serves the entry
+	// and counts it.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries, _, _, _, _ := s2.Stats(); entries != 1 {
+		t.Fatalf("reopened store counts %d entries, want 1", entries)
+	}
+	got, ok, err = s2.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened Get = %q ok=%v err=%v", got, ok, err)
+	}
+
+	// An unknown key is a plain miss.
+	if _, ok, err := s.Get("no-such-key"); ok || err != nil {
+		t.Fatalf("missing key: ok=%v err=%v, want plain miss", ok, err)
+	}
+}
+
+// TestStoreCorruptionDetected drives every disk-fault kind through the
+// injector and pins the self-healing contract: a damaged entry is
+// detected by its embedded checksum, deleted on sight, and reported as
+// a miss with a storage error — never served.
+func TestStoreCorruptionDetected(t *testing.T) {
+	for _, kind := range []fault.DiskFaultKind{fault.DiskTruncate, fault.DiskBitFlip, fault.DiskGarbage} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := "k/" + kind.String()
+			payload := []byte(`{"doc":"bytes that must never be served once damaged"}`)
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := fault.CorruptFile(s.Path(key), kind, 7); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.Get(key)
+			if ok || got != nil {
+				t.Fatalf("corrupt entry served: %q", got)
+			}
+			if fsmerr.CodeOf(err) != fsmerr.CodeStorage {
+				t.Fatalf("corruption error = %v, want CodeStorage", err)
+			}
+			if _, serr := os.Stat(s.Path(key)); !os.IsNotExist(serr) {
+				t.Fatalf("corrupt entry not deleted: stat err %v", serr)
+			}
+			// The next read is a plain miss: the caller re-simulates.
+			if _, ok, err := s.Get(key); ok || err != nil {
+				t.Fatalf("post-deletion read: ok=%v err=%v, want plain miss", ok, err)
+			}
+			entries, _, _, corrupt, _ := s.Stats()
+			if entries != 0 || corrupt != 1 {
+				t.Fatalf("entries=%d corrupt=%d, want 0/1", entries, corrupt)
+			}
+		})
+	}
+}
+
+// TestStoreNilAndDisabled pins the degraded modes: a nil store (no
+// -data-dir) is a silent miss/no-op, and a disabled store (crash
+// simulation) drops writes.
+func TestStoreNilAndDisabled(t *testing.T) {
+	var nilStore *Store
+	if err := nilStore.Put("k", []byte("v")); err != nil {
+		t.Fatalf("nil Put: %v", err)
+	}
+	if _, ok, err := nilStore.Get("k"); ok || err != nil {
+		t.Fatalf("nil Get: ok=%v err=%v", ok, err)
+	}
+	nilStore.disable() // must not panic
+
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.disable()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("write after disable reached disk")
+	}
+}
