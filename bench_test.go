@@ -8,6 +8,7 @@ package fsmem
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -23,6 +24,7 @@ import (
 	"fsmem/internal/leakage"
 	"fsmem/internal/server"
 	"fsmem/internal/server/client"
+	"fsmem/internal/server/cluster"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
 	"fsmem/internal/workload"
@@ -558,5 +560,34 @@ func BenchmarkServerColdRecovery(b *testing.B) {
 	}
 	if !st2.State.Terminal() || !st2.CacheHit {
 		b.Fatalf("recovered daemon did not serve seeded work from the store: %+v", st2)
+	}
+}
+
+// BenchmarkClusterRouting times the coordinator's routing hot path: one
+// consistent-hash Owner lookup per content-addressed job ID over an
+// 8-worker ring. Every submission and every retry walk pays this cost,
+// so it must stay allocation-free and well under a microsecond.
+func BenchmarkClusterRouting(b *testing.B) {
+	ring := cluster.NewRing(0)
+	for i := 0; i < 8; i++ {
+		ring.Add(fmt.Sprintf("http://worker-%d:8377", i))
+	}
+	ids := make([]string, 1024)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("j%016x", uint64(i)*0x9e3779b97f4a7c15)
+	}
+	spread := map[string]bool{}
+	for _, id := range ids {
+		spread[ring.Owner(id)] = true
+	}
+	if len(spread) != 8 {
+		b.Fatalf("1024 IDs landed on %d/8 workers", len(spread))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ring.Owner(ids[i%len(ids)]) == "" {
+			b.Fatal("empty owner")
+		}
 	}
 }

@@ -23,8 +23,12 @@
 //
 // A benchmark present in the baseline but missing from the run fails the
 // gate (a deleted benchmark must be removed from the baseline on purpose,
-// with -write). New benchmarks absent from the baseline are reported but
-// pass, so adding a benchmark does not require a two-step dance.
+// with -write). With -src the gate is two-way: the source tree is scanned
+// for `func Benchmark*` declarations in *_test.go files, and any
+// benchmark that exists in the tree but has no baseline entry fails —
+// an ungated benchmark is a regression waiting to land unnoticed.
+// Without -src, new benchmarks are merely reported, so ad-hoc local runs
+// don't require a two-step dance.
 //
 // Exit status: 0 clean, 1 regression or drift, 2 usage or parse error.
 package main
@@ -35,8 +39,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -167,6 +173,71 @@ func compare(base Baseline, got map[string]Entry, timeTol, metricTol float64) []
 	return problems
 }
 
+// benchDecl matches a top-level benchmark declaration in a _test.go
+// file. Sub-benchmarks (b.Run) inherit their parent's gate, so only
+// function names matter.
+var benchDecl = regexp.MustCompile(`(?m)^func (Benchmark\w+)\s*\(`)
+
+// scanBenchmarks walks a source tree and returns the sorted set of
+// benchmark function names declared in *_test.go files.
+func scanBenchmarks(dir string) ([]string, error) {
+	set := map[string]bool{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range benchDecl.FindAllSubmatch(src, -1) {
+			set[string(m[1])] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ungated returns the tree benchmarks with no baseline entry. A baseline
+// key gates its exact name and, for sub-benchmarks, any "name/..." key.
+func ungated(tree []string, base Baseline) []string {
+	var missing []string
+	for _, name := range tree {
+		if _, ok := base.Benchmarks[name]; ok {
+			continue
+		}
+		covered := false
+		for key := range base.Benchmarks {
+			if strings.HasPrefix(key, name+"/") {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}
+
 // relDiff is |a-b| scaled by the larger magnitude, with exact-zero pairs
 // equal (many figure metrics are exactly 0 by construction).
 func relDiff(a, b float64) float64 {
@@ -184,6 +255,7 @@ func run() int {
 	note := flag.String("note", "", "with -write: annotation stored in the baseline")
 	timeTol := flag.Float64("time-tolerance", 0.15, "allowed one-sided ns/op, B/op, allocs/op regression (0.15 = +15%)")
 	metricTol := flag.Float64("metric-tolerance", 0.01, "allowed two-sided drift for custom metrics (0.01 = 1%)")
+	srcDir := flag.String("src", "", "source tree to scan for Benchmark* declarations; any found without a baseline entry fails the gate")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -229,6 +301,16 @@ func run() int {
 	}
 
 	problems := compare(base, got, *timeTol, *metricTol)
+	if *srcDir != "" {
+		tree, err := scanBenchmarks(*srcDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: scanning %s: %v\n", *srcDir, err)
+			return 2
+		}
+		for _, name := range ungated(tree, base) {
+			problems = append(problems, fmt.Sprintf("%s: declared in %s but missing from the baseline (regenerate with -write)", name, *srcDir))
+		}
+	}
 	for name := range got {
 		if _, ok := base.Benchmarks[name]; !ok {
 			fmt.Printf("benchdiff: note: %s is new (not in baseline; add with -write)\n", name)

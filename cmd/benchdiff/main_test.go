@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -130,6 +133,66 @@ func TestCompareMissingMetricFails(t *testing.T) {
 	p := compare(base, map[string]Entry{"BenchmarkFig6": {NsPerOp: 1}}, 0.15, 0.01)
 	if len(p) != 1 || !strings.Contains(p[0], "gone") {
 		t.Fatalf("dropped metric not flagged: %v", p)
+	}
+}
+
+func TestScanBenchmarksFindsTreeDeclarations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("bench_test.go", "package x\n\nfunc BenchmarkRoot(b *testing.B) {}\n")
+	write("internal/ring/ring_test.go", "package ring\n\nfunc BenchmarkRouting(b *testing.B) {}\nfunc TestNotABench(t *testing.T) {}\n")
+	write("internal/ring/ring.go", "package ring\n\nfunc BenchmarkImpostor() {}\n") // not a _test.go file
+	write("vendor/dep_test.go", "package dep\n\nfunc BenchmarkVendored(b *testing.B) {}\n")
+
+	got, err := scanBenchmarks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BenchmarkRoot", "BenchmarkRouting"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("scanBenchmarks = %v, want %v", got, want)
+	}
+}
+
+func TestUngatedFailsTreeBenchmarksMissingFromBaseline(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkGated":       {NsPerOp: 1},
+		"BenchmarkParent/slow": {NsPerOp: 1}, // sub-benchmark key gates its parent
+	}}
+	tree := []string{"BenchmarkGated", "BenchmarkParent", "BenchmarkUngated"}
+	got := ungated(tree, base)
+	if len(got) != 1 || got[0] != "BenchmarkUngated" {
+		t.Fatalf("ungated = %v, want [BenchmarkUngated]", got)
+	}
+}
+
+// TestRepoBaselineCoversTree pins the repo's own invariant: every
+// benchmark declared anywhere in this module has a baseline entry, so
+// the CI gate can never silently skip one.
+func TestRepoBaselineCoversTree(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := scanBenchmarks("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := ungated(tree, base); len(missing) != 0 {
+		t.Fatalf("benchmarks without a baseline entry: %v (regenerate BENCH_baseline.json with -write)", missing)
 	}
 }
 

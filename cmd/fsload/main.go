@@ -59,7 +59,12 @@ type report struct {
 	Retries          int64   `json:"retries"`
 	RetryWaitSeconds float64 `json:"retry_wait_seconds"`
 	ChaosKills       int     `json:"chaos_kills,omitempty"`
-	LatencyMS        struct {
+	// PerWorker breaks completions down by the worker that served each
+	// job (status documents carry the worker name when the daemon has
+	// one — always, through a cluster coordinator). Empty against an
+	// unnamed single-node daemon.
+	PerWorker map[string]int `json:"per_worker,omitempty"`
+	LatencyMS struct {
 		P50 float64 `json:"p50"`
 		P90 float64 `json:"p90"`
 		P95 float64 `json:"p95"`
@@ -289,6 +294,12 @@ func main() {
 					if st.CacheHit {
 						rep.CacheHits++
 					}
+					if st.Worker != "" {
+						if rep.PerWorker == nil {
+							rep.PerWorker = map[string]int{}
+						}
+						rep.PerWorker[st.Worker]++
+					}
 					latencies = append(latencies, lat)
 				default:
 					rep.Failed++
@@ -338,6 +349,17 @@ func main() {
 	fmt.Printf("  throughput  %.1f jobs/s\n", rep.Throughput)
 	fmt.Printf("  latency ms  p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 		rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Max)
+	if len(rep.PerWorker) > 0 {
+		names := make([]string, 0, len(rep.PerWorker))
+		for w := range rep.PerWorker {
+			names = append(names, w)
+		}
+		sort.Strings(names)
+		fmt.Printf("  per worker\n")
+		for _, w := range names {
+			fmt.Printf("    %-40s %d completed\n", w, rep.PerWorker[w])
+		}
+	}
 	for i, f := range failures {
 		if i == 10 {
 			fmt.Fprintf(os.Stderr, "fsload: ... and %d more failures\n", len(failures)-10)

@@ -30,6 +30,35 @@ func expoName(name string) string {
 	return b.String()
 }
 
+// LabelName folds an arbitrary instance string (a worker URL, a file
+// path) into a token safe to embed inside a dotted metric name:
+// lowercase letters and digits survive, every other byte becomes '_',
+// and runs of '_' collapse so "http://10.0.0.7:8377" and
+// "http://10.0.0.7:8377/" map to the same label. Deterministic, so two
+// registries over the same fleet emit identical metric names.
+func LabelName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastUnderscore := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+			lastUnderscore = false
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c - 'A' + 'a')
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+			}
+			lastUnderscore = true
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}
+
 // WritePrometheus renders a snapshot in the Prometheus text exposition
 // format (untyped samples, one per line). The snapshot is already sorted
 // by name and every name is sanitized deterministically, so two equal

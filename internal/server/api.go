@@ -150,6 +150,12 @@ type JobStatus struct {
 	// disk store) without re-simulating.
 	CacheHit bool     `json:"cache_hit,omitempty"`
 	Progress Progress `json:"progress"`
+	// Worker names the daemon (or, through a coordinator, the fleet
+	// member) the job ran on: a single daemon stamps its configured
+	// WorkerName, a coordinator the routed worker's URL. Empty on
+	// unnamed single-node daemons. cmd/fsload aggregates it into its
+	// per-worker breakdown.
+	Worker string `json:"worker,omitempty"`
 	// Attempts counts executor crashes attributed to this job; at the
 	// server's quarantine threshold the job moves to "quarantined".
 	Attempts int    `json:"attempts,omitempty"`
@@ -409,6 +415,55 @@ func (r *JobRequest) normalize() (string, error) {
 		return "", fmt.Errorf("unknown job kind %q (options: %s, %s, %s, %s)",
 			r.Kind, KindSimulate, KindFigures, KindLeakage, KindChaos)
 	}
+}
+
+// Canonicalize validates req, fills its defaults in place, and returns
+// the job's content-addressed ID and canonical content key — the same
+// identity Submit assigns. The cluster coordinator routes on it, so
+// routing and execution can never disagree about what a job is, and a
+// resubmission on another worker is idempotent by construction.
+func Canonicalize(req *JobRequest) (id, key string, err error) {
+	key, err = req.normalize()
+	if err != nil {
+		return "", "", err
+	}
+	return jobID(key), key, nil
+}
+
+// ClusterWorker is one fleet member's row in the coordinator's
+// /v1/cluster document.
+type ClusterWorker struct {
+	Name           string `json:"name"`
+	Healthy        bool   `json:"healthy"`
+	InFlight       int64  `json:"in_flight"`
+	Routed         int64  `json:"routed"`
+	Completed      int64  `json:"completed"`
+	Failed         int64  `json:"failed"`
+	Stolen         int64  `json:"stolen"`
+	HeartbeatFails int64  `json:"heartbeat_fails"`
+}
+
+// ClusterStatus is the coordinator's GET /v1/cluster fleet document.
+type ClusterStatus struct {
+	Workers          []ClusterWorker `json:"workers"`
+	Submitted        int64           `json:"submitted"`
+	Completed        int64           `json:"completed"`
+	Failed           int64           `json:"failed"`
+	CacheHits        int64           `json:"cache_hits"`
+	Live             int             `json:"live"`
+	Retries          int64           `json:"retries"`
+	Steals           int64           `json:"steals"`
+	VerifySampled    int64           `json:"verify_sampled"`
+	VerifyOK         int64           `json:"verify_ok"`
+	VerifyMismatches int64           `json:"verify_mismatches"`
+}
+
+// RegisterRequest is the POST /v1/cluster/register payload a worker
+// sends (via fsmemd -join) to enter a coordinator's fleet.
+type RegisterRequest struct {
+	// Addr is the worker's advertised base URL, e.g.
+	// "http://10.0.0.7:8377".
+	Addr string `json:"addr"`
 }
 
 // jobID derives the deterministic job ID from the canonical content

@@ -360,3 +360,19 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw)
 	return string(raw), err
 }
+
+// Cluster fetches a coordinator's fleet document (GET /v1/cluster).
+// Against a plain single-node daemon it returns a not_found APIError.
+func (c *Client) Cluster(ctx context.Context) (server.ClusterStatus, error) {
+	var st server.ClusterStatus
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &st)
+	return st, err
+}
+
+// Register joins a worker (by its advertised base URL) to the
+// coordinator's fleet (POST /v1/cluster/register). fsmemd -join calls
+// this on startup; it is idempotent.
+func (c *Client) Register(ctx context.Context, workerAddr string) error {
+	return c.do(ctx, http.MethodPost, "/v1/cluster/register",
+		server.RegisterRequest{Addr: workerAddr}, nil)
+}

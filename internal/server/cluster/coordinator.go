@@ -1,0 +1,879 @@
+package cluster
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmem/internal/fsmerr"
+	"fsmem/internal/obs"
+	"fsmem/internal/server"
+	"fsmem/internal/server/client"
+)
+
+// Options configures the coordinator.
+type Options struct {
+	// Addr is the listen address for Serve ("" = ":8376").
+	Addr string
+	// Workers is the initial fleet: fsmemd worker base URLs. More can
+	// join later through POST /v1/cluster/register.
+	Workers []string
+	// HeartbeatInterval paces the fleet health probes (0 = 500ms).
+	HeartbeatInterval time.Duration
+	// FailAfter is how many consecutive failed heartbeats demote a
+	// worker to unhealthy (0 = 2). Demotion cancels the worker's health
+	// epoch, which immediately aborts and re-routes everything parked on
+	// it — that is the work-stealing path.
+	FailAfter int
+	// Window bounds in-flight jobs per worker (0 = 8).
+	Window int
+	// MaxAttempts bounds how many workers one job is tried on before the
+	// coordinator gives up (0 = 8). Retrying on another worker is always
+	// sound: job IDs are content-addressed and execution is
+	// byte-deterministic, so a duplicate execution racing a slow first
+	// attempt produces identical bytes.
+	MaxAttempts int
+	// VerifySample is the fraction [0,1] of completed jobs the
+	// coordinator re-executes on a second worker and byte-compares —
+	// determinism as a distributed integrity check. Sampling is
+	// deterministic per job ID. 0 disables verification.
+	VerifySample float64
+	// Vnodes is the virtual-node count per ring member (0 = 64).
+	Vnodes int
+	// CacheEntries bounds the coordinator's local LRU over fetched
+	// result documents (0 = 1024); cached jobs are re-served locally
+	// without touching the fleet.
+	CacheEntries int
+	// QueueDepth bounds accepted-but-unfinished jobs; beyond it new
+	// submissions get 429 queue_full (0 = 256).
+	QueueDepth int
+	// PollInterval paces worker status polls for dispatched jobs
+	// (0 = 10ms).
+	PollInterval time.Duration
+	// RequestTimeout bounds request handling (0 = 30s); DrainTimeout
+	// bounds graceful drain (0 = 60s).
+	RequestTimeout time.Duration
+	DrainTimeout   time.Duration
+
+	// newClient overrides worker client construction (tests).
+	newClient func(name string) *client.Client
+}
+
+func (o *Options) fill() {
+	if o.Addr == "" {
+		o.Addr = ":8376"
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 2
+	}
+	if o.Window <= 0 {
+		o.Window = 8
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 10 * time.Millisecond
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 60 * time.Second
+	}
+}
+
+// job is the coordinator's view of one accepted job.
+type job struct {
+	ID  string
+	Key string
+	Req server.JobRequest
+
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    server.JobState
+	worker   string
+	cacheHit bool
+	result   []byte
+	err      error
+}
+
+func (j *job) status() server.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := server.JobStatus{
+		ID: j.ID, Kind: j.Req.Kind, State: j.state, Priority: j.Req.Priority,
+		CacheHit: j.cacheHit, Worker: j.worker,
+	}
+	if j.state == server.StateDone {
+		s.Progress = server.Progress{Done: 1, Total: 1}
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+		s.ErrorCode = string(fsmerr.CodeOf(j.err))
+	}
+	return s
+}
+
+func (j *job) setRunning(worker string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		j.state = server.StateRunning
+		j.worker = worker
+	}
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *job) finish(s server.JobState, worker string, result []byte, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = s
+	j.worker = worker
+	j.result = result
+	j.err = err
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// resultEntry is one cached result document and the worker that
+// computed it.
+type resultEntry struct {
+	key    string
+	result []byte
+	worker string
+}
+
+// lruCache is a bounded LRU over fetched result documents, keyed by the
+// job's canonical content key.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List
+	entries map[string]*list.Element
+	hits    atomic.Int64
+}
+
+func newLRUCache(capEntries int) *lruCache {
+	return &lruCache{cap: capEntries, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (*resultEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*resultEntry), true
+}
+
+func (c *lruCache) put(e *resultEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*resultEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// maxFinished bounds how many terminal job records stay addressable in
+// the coordinator's table (results usually remain in the LRU, so an
+// evicted job's resubmission is still a local cache hit).
+const maxFinished = 4096
+
+var errNoWorkers = errors.New("no healthy workers")
+
+// Coordinator fronts a fleet of fsmemd workers: it accepts the same
+// job API a single daemon serves, consistent-hash-routes each job to a
+// worker, re-serves finished results from a local cache, steals work
+// off unhealthy workers, and samples cross-worker byte-identity.
+type Coordinator struct {
+	opts    Options
+	members *Registry
+	cache   *lruCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	live     int // accepted, not yet terminal
+	finished []string
+
+	registry *obs.Registry
+	mux      *http.ServeMux
+
+	httpRequests atomic.Int64
+	submitted    atomic.Int64
+	completed    atomic.Int64
+	failed       atomic.Int64
+	cacheHits    atomic.Int64
+	retries      atomic.Int64 // dispatch attempts beyond a job's first
+	steals       atomic.Int64 // re-routes forced by an unhealthy worker
+
+	verifySampled  atomic.Int64
+	verifyOK       atomic.Int64
+	verifyMismatch atomic.Int64
+	verifySkipped  atomic.Int64 // sampled but no second healthy worker
+	verifyErrors   atomic.Int64
+}
+
+// New assembles a coordinator over the initial worker fleet and starts
+// its heartbeat loop.
+func New(o Options) (*Coordinator, error) {
+	o.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		opts:       o,
+		cache:      newLRUCache(o.CacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*job{},
+	}
+	c.members = newRegistry(o.HeartbeatInterval, o.FailAfter, o.Window, o.Vnodes, o.newClient)
+	for _, w := range o.Workers {
+		if w == "" {
+			continue
+		}
+		c.members.Add(w)
+	}
+	c.buildMetrics()
+	c.buildRoutes()
+	return c, nil
+}
+
+// Members exposes the membership registry (tests and /v1/cluster).
+func (c *Coordinator) Members() *Registry { return c.members }
+
+// Submit accepts one job: it joins a live duplicate (singleflight),
+// answers from the local result cache, or admits the job and dispatches
+// it to the fleet in the background. The returned bool is true when
+// this call created a new job record.
+func (c *Coordinator) Submit(req server.JobRequest) (*job, bool, error) {
+	id, key, err := server.Canonicalize(&req)
+	if err != nil {
+		return nil, false, fsmerr.Wrap(fsmerr.CodeConfig, "cluster.Submit", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return nil, false, errDraining
+	}
+	c.submitted.Add(1)
+	if j, ok := c.jobs[id]; ok {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if !terminal {
+			return j, false, nil // live duplicate: singleflight join
+		}
+		if j.state == server.StateDone {
+			j.mu.Lock()
+			j.cacheHit = true
+			j.mu.Unlock()
+			c.cacheHits.Add(1)
+			return j, false, nil
+		}
+		// Failed terminal record: fall through and retry fresh.
+	}
+	if e, ok := c.cache.get(key); ok {
+		j := c.materializeDoneLocked(id, key, req, e)
+		c.cacheHits.Add(1)
+		return j, true, nil
+	}
+	if c.live >= c.opts.QueueDepth {
+		return nil, false, errQueueFull
+	}
+	j := &job{ID: id, Key: key, Req: req, done: make(chan struct{})}
+	j.state = server.StateQueued
+	c.jobs[id] = j
+	c.live++
+	c.wg.Add(1)
+	go c.dispatch(j)
+	return j, true, nil
+}
+
+// materializeDoneLocked installs a finished job served from the local
+// cache. Caller holds c.mu.
+func (c *Coordinator) materializeDoneLocked(id, key string, req server.JobRequest, e *resultEntry) *job {
+	j := &job{ID: id, Key: key, Req: req, done: make(chan struct{})}
+	j.state = server.StateDone
+	j.cacheHit = true
+	j.worker = e.worker
+	j.result = e.result
+	close(j.done)
+	c.jobs[id] = j
+	c.rememberFinishedLocked(id)
+	return j
+}
+
+func (c *Coordinator) rememberFinishedLocked(id string) {
+	c.finished = append(c.finished, id)
+	for len(c.finished) > maxFinished {
+		evict := c.finished[0]
+		c.finished = c.finished[1:]
+		if j, ok := c.jobs[evict]; ok {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if terminal {
+				delete(c.jobs, evict)
+			}
+		}
+	}
+}
+
+// noteFinished records a job's terminal transition for table eviction
+// and the live-count backpressure.
+func (c *Coordinator) noteFinished(id string) {
+	c.mu.Lock()
+	c.live--
+	c.rememberFinishedLocked(id)
+	c.mu.Unlock()
+}
+
+// Get returns a job by ID.
+func (c *Coordinator) Get(id string) (*job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// dispatch places one job on the fleet, walking the ring's preference
+// order across failures: the owner first, then successive distinct
+// members. Deterministic worker-side failures stop the walk (the same
+// config fails identically everywhere); transport errors and unhealthy
+// epochs re-route — the retry is idempotent because the job ID is
+// content-addressed.
+func (c *Coordinator) dispatch(j *job) {
+	defer c.wg.Done()
+	defer c.noteFinished(j.ID)
+	tried := map[string]bool{}
+	var lastErr error = errNoWorkers
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if c.baseCtx.Err() != nil {
+			break
+		}
+		m := c.members.Pick(j.ID, tried)
+		if m == nil {
+			// Every member tried or unhealthy: clear the visited set and
+			// wait a heartbeat for the fleet to recover before burning
+			// another attempt.
+			tried = map[string]bool{}
+			select {
+			case <-c.baseCtx.Done():
+			case <-time.After(c.opts.HeartbeatInterval):
+			}
+			lastErr = errNoWorkers
+			continue
+		}
+		if attempt > 1 {
+			c.retries.Add(1)
+		}
+		err := c.runOn(j, m)
+		if err == nil {
+			return // job reached a terminal state
+		}
+		lastErr = err
+		tried[m.Name] = true
+		if !m.Healthy() {
+			m.stolen.Add(1)
+			c.steals.Add(1)
+		}
+	}
+	c.failed.Add(1)
+	j.finish(server.StateFailed, "", nil,
+		fsmerr.New(fsmerr.CodeExperiment, "cluster.dispatch",
+			"job %s failed after %d dispatch attempts: %v", j.ID, c.opts.MaxAttempts, lastErr))
+}
+
+// runOn executes one dispatch attempt on member m. A nil return means
+// the job reached a terminal state (done, or a deterministic worker
+// verdict); an error means the attempt should be retried elsewhere.
+func (c *Coordinator) runOn(j *job, m *Member) error {
+	// Bind the attempt to the member's health epoch: the moment the
+	// heartbeat loop demotes m, everything below aborts and the caller
+	// re-routes — queued work is stolen off the dying worker without
+	// waiting out an HTTP timeout.
+	ctx, cancel := context.WithCancel(c.baseCtx)
+	defer cancel()
+	stop := context.AfterFunc(m.epoch(), cancel)
+	defer stop()
+
+	if err := m.acquire(ctx); err != nil {
+		return fmt.Errorf("worker %s window: %w", m.Name, err)
+	}
+	defer m.release()
+	m.routed.Add(1)
+	j.setRunning(m.Name)
+
+	st, err := m.cl.Submit(ctx, j.Req)
+	if err != nil {
+		m.failedJobs.Add(1)
+		return fmt.Errorf("worker %s submit: %w", m.Name, err)
+	}
+	if !st.State.Terminal() {
+		st, err = m.cl.Wait(ctx, st.ID, c.opts.PollInterval)
+		if err != nil {
+			m.failedJobs.Add(1)
+			return fmt.Errorf("worker %s wait: %w", m.Name, err)
+		}
+	}
+	switch st.State {
+	case server.StateDone:
+		raw, err := m.cl.Result(ctx, st.ID)
+		if err != nil {
+			m.failedJobs.Add(1)
+			return fmt.Errorf("worker %s result: %w", m.Name, err)
+		}
+		c.complete(j, m, raw)
+		return nil
+	case server.StateFailed, server.StateQuarantined:
+		// Deterministic verdict: byte-deterministic execution means the
+		// same config fails the same way on every worker, so re-routing
+		// would only repeat it.
+		c.failed.Add(1)
+		code := fsmerr.Code(st.ErrorCode)
+		if code == "" {
+			code = fsmerr.CodeExperiment
+		}
+		j.finish(st.State, m.Name, nil,
+			fsmerr.New(code, "cluster.runOn", "worker %s: job %s: %s", m.Name, st.State, st.Error))
+		return nil
+	default:
+		// Canceled on the worker (its drain raced ours): transient.
+		m.failedJobs.Add(1)
+		return fmt.Errorf("worker %s: job ended %s", m.Name, st.State)
+	}
+}
+
+// complete records a finished result, re-serves it from the local cache
+// from now on, and kicks off the sampled cross-worker verification.
+func (c *Coordinator) complete(j *job, m *Member, raw []byte) {
+	c.cache.put(&resultEntry{key: j.Key, result: raw, worker: m.Name})
+	m.completed.Add(1)
+	c.completed.Add(1)
+	j.finish(server.StateDone, m.Name, raw, nil)
+	if c.sampled(j.ID) {
+		c.verifySampled.Add(1)
+		c.wg.Add(1)
+		go c.verify(j, m.Name, raw)
+	}
+}
+
+// sampled decides — deterministically per job ID — whether a finished
+// job is re-executed on a second worker for the byte-identity check.
+func (c *Coordinator) sampled(id string) bool {
+	s := c.opts.VerifySample
+	if s <= 0 {
+		return false
+	}
+	if s >= 1 {
+		return true
+	}
+	return float64(hash64(id+"|verify")%1_000_000) < s*1_000_000
+}
+
+// verify re-executes a finished job on a different worker and
+// byte-compares the result documents. Determinism says they must be
+// identical; a mismatch means a worker computed (or stored) the wrong
+// bytes, and is surfaced through the fleet metrics.
+func (c *Coordinator) verify(j *job, firstWorker string, want []byte) {
+	defer c.wg.Done()
+	var second *Member
+	for _, name := range c.ringOrder(j.ID) {
+		if name == firstWorker {
+			continue
+		}
+		if m, ok := c.members.Get(name); ok && m.Healthy() {
+			second = m
+			break
+		}
+	}
+	if second == nil {
+		c.verifySkipped.Add(1)
+		return
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.opts.RequestTimeout)
+	defer cancel()
+	st, err := second.cl.Submit(ctx, j.Req)
+	if err == nil && !st.State.Terminal() {
+		st, err = second.cl.Wait(ctx, st.ID, c.opts.PollInterval)
+	}
+	if err != nil || st.State != server.StateDone {
+		c.verifyErrors.Add(1)
+		return
+	}
+	got, err := second.cl.Result(ctx, st.ID)
+	if err != nil {
+		c.verifyErrors.Add(1)
+		return
+	}
+	if string(got) == string(want) {
+		c.verifyOK.Add(1)
+	} else {
+		c.verifyMismatch.Add(1)
+	}
+}
+
+func (c *Coordinator) ringOrder(id string) []string {
+	c.members.mu.Lock()
+	defer c.members.mu.Unlock()
+	return c.members.ring.Lookup(id, len(c.members.members))
+}
+
+// Status assembles the /v1/cluster fleet document.
+func (c *Coordinator) Status() server.ClusterStatus {
+	st := server.ClusterStatus{
+		Submitted:        c.submitted.Load(),
+		Completed:        c.completed.Load(),
+		Failed:           c.failed.Load(),
+		CacheHits:        c.cacheHits.Load(),
+		Retries:          c.retries.Load(),
+		Steals:           c.steals.Load(),
+		VerifySampled:    c.verifySampled.Load(),
+		VerifyOK:         c.verifyOK.Load(),
+		VerifyMismatches: c.verifyMismatch.Load(),
+	}
+	c.mu.Lock()
+	st.Live = c.live
+	c.mu.Unlock()
+	for _, m := range c.members.Members() {
+		st.Workers = append(st.Workers, server.ClusterWorker{
+			Name:           m.Name,
+			Healthy:        m.Healthy(),
+			InFlight:       m.inFlight.Load(),
+			Routed:         m.routed.Load(),
+			Completed:      m.completed.Load(),
+			Failed:         m.failedJobs.Load(),
+			Stolen:         m.stolen.Load(),
+			HeartbeatFails: m.heartbeatFails.Load(),
+		})
+	}
+	return st
+}
+
+// buildMetrics registers the fleet counters for /metrics: coordinator
+// totals under fsmemd_cluster_*, plus one block per worker keyed by its
+// sanitized name.
+func (c *Coordinator) buildMetrics() {
+	r := obs.NewRegistry()
+	r.Source("fsmemd.cluster", obs.SourceFunc(func(emit func(string, float64)) {
+		emit("jobs.submitted", float64(c.submitted.Load()))
+		emit("jobs.completed", float64(c.completed.Load()))
+		emit("jobs.failed", float64(c.failed.Load()))
+		emit("jobs.cache_hits", float64(c.cacheHits.Load()))
+		c.mu.Lock()
+		live := c.live
+		c.mu.Unlock()
+		emit("jobs.live", float64(live))
+		emit("cache.entries", float64(c.cache.len()))
+		emit("dispatch.retries", float64(c.retries.Load()))
+		emit("dispatch.steals", float64(c.steals.Load()))
+		emit("verify.sampled", float64(c.verifySampled.Load()))
+		emit("verify.ok", float64(c.verifyOK.Load()))
+		emit("verify.mismatches", float64(c.verifyMismatch.Load()))
+		emit("verify.skipped", float64(c.verifySkipped.Load()))
+		emit("verify.errors", float64(c.verifyErrors.Load()))
+		emit("http.requests", float64(c.httpRequests.Load()))
+		members := c.members.Members()
+		healthy := 0
+		for _, m := range members {
+			if m.Healthy() {
+				healthy++
+			}
+		}
+		emit("workers.registered", float64(len(members)))
+		emit("workers.healthy", float64(healthy))
+		for _, m := range members {
+			label := "worker." + obs.LabelName(m.Name) + "."
+			up := 0.0
+			if m.Healthy() {
+				up = 1
+			}
+			emit(label+"healthy", up)
+			emit(label+"in_flight", float64(m.inFlight.Load()))
+			emit(label+"routed", float64(m.routed.Load()))
+			emit(label+"completed", float64(m.completed.Load()))
+			emit(label+"failed", float64(m.failedJobs.Load()))
+			emit(label+"stolen", float64(m.stolen.Load()))
+			emit(label+"heartbeat_fails", float64(m.heartbeatFails.Load()))
+		}
+	}))
+	c.registry = r
+}
+
+// Submission errors mapped onto HTTP status codes.
+var (
+	errQueueFull = errors.New("cluster job table full")
+	errDraining  = errors.New("coordinator is draining")
+)
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, ec string, format string, args ...any) {
+	writeJSON(w, code, server.ErrorBody{Error: fmt.Sprintf(format, args...), Code: ec})
+}
+
+func (c *Coordinator) buildRoutes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		c.mu.Lock()
+		draining := c.draining
+		c.mu.Unlock()
+		if draining {
+			writeError(w, http.StatusServiceUnavailable, "draining", "coordinator is draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.WritePrometheus(w, c.registry.Snapshot())
+	})
+	timeout := func(h http.HandlerFunc) http.Handler {
+		return http.TimeoutHandler(h, c.opts.RequestTimeout, "request timed out")
+	}
+	mux.Handle("POST /v1/jobs", timeout(c.handleSubmit))
+	mux.Handle("GET /v1/jobs/{id}", timeout(c.handleStatus))
+	mux.Handle("GET /v1/jobs/{id}/result", timeout(c.handleResult))
+	mux.Handle("GET /v1/cluster", timeout(c.handleCluster))
+	mux.Handle("POST /v1/cluster/register", timeout(c.handleRegister))
+	c.mux = mux
+}
+
+// Handler returns the coordinator's HTTP handler. The job endpoints
+// speak the same wire contract as a single fsmemd, so the typed client
+// and cmd/fsload work against a coordinator unchanged.
+func (c *Coordinator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.httpRequests.Add(1)
+		c.mux.ServeHTTP(w, r)
+	})
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req server.JobRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding job request: %v", err)
+		return
+	}
+	j, created, err := c.Submit(req)
+	switch {
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusServiceUnavailable, "draining", "coordinator is draining")
+		return
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(c.queueRetryAfterSecs()))
+		writeError(w, http.StatusTooManyRequests, "queue_full", "cluster job table is full")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, string(fsmerr.CodeOf(err)), "%v", err)
+		return
+	}
+	st := j.status()
+	code := http.StatusAccepted
+	if st.State.Terminal() || !created {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// queueRetryAfterSecs spreads the live backlog across the fleet's
+// aggregate window as a backoff hint, clamped to [1s, 30s].
+func (c *Coordinator) queueRetryAfterSecs() int {
+	c.mu.Lock()
+	live := c.live
+	c.mu.Unlock()
+	slots := c.members.HealthyCount() * c.opts.Window
+	if slots < 1 {
+		slots = 1
+	}
+	secs := 1 + live/slots
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+func (c *Coordinator) job(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := c.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := c.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(w, r)
+	if !ok {
+		return
+	}
+	st := j.status()
+	j.mu.Lock()
+	result := j.result
+	j.mu.Unlock()
+	if st.State != server.StateDone || result == nil {
+		if st.State == server.StateFailed || st.State == server.StateCanceled || st.State == server.StateQuarantined {
+			writeError(w, http.StatusConflict, st.ErrorCode, "job %s: %s", st.State, st.Error)
+			return
+		}
+		writeError(w, http.StatusConflict, "not_done", "job is %s; poll status", st.State)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(result)
+}
+
+func (c *Coordinator) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req server.RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding register request: %v", err)
+		return
+	}
+	if req.Addr == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "register needs a worker addr")
+		return
+	}
+	c.mu.Lock()
+	draining := c.draining
+	c.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining", "coordinator is draining")
+		return
+	}
+	c.members.Add(req.Addr)
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// Drain stops intake and waits for in-flight dispatches (and pending
+// verifications) to finish; past ctx it hard-cancels stragglers.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		c.baseCancel()
+		<-done
+		err = ctx.Err()
+	}
+	c.baseCancel()
+	c.members.close()
+	return err
+}
+
+// Serve listens on o.Addr and runs the coordinator until ctx is
+// canceled, then drains gracefully (bounded by DrainTimeout).
+func Serve(ctx context.Context, o Options) error {
+	c, err := New(o)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", c.opts.Addr)
+	if err != nil {
+		return err
+	}
+	return c.ServeListener(ctx, ln)
+}
+
+// ServeListener is Serve on an existing listener (ownership transfers).
+func (c *Coordinator) ServeListener(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return context.WithoutCancel(ctx) },
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), c.opts.DrainTimeout)
+	defer cancel()
+	drainErr := c.Drain(dctx)
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+		if drainErr == nil {
+			drainErr = err
+		}
+	}
+	<-serveErr
+	return drainErr
+}

@@ -20,6 +20,8 @@ type Job struct {
 	ID  string
 	Key string
 	Req JobRequest
+	// worker is the owning daemon's WorkerName, stamped at creation.
+	worker string
 
 	events *eventLog
 	done   chan struct{} // closed at any terminal state
@@ -44,6 +46,7 @@ func (j *Job) Status() JobStatus {
 	s := JobStatus{
 		ID: j.ID, Kind: j.Req.Kind, State: j.state, Priority: j.Req.Priority,
 		CacheHit: j.cacheHit,
+		Worker:   j.worker,
 		Attempts: j.attempts,
 		Progress: Progress{Done: int(j.progressDone.Load()), Total: int(j.progressTotal.Load())},
 	}
@@ -109,6 +112,7 @@ type Manager struct {
 	gridShards      int
 	queueDepth      int // submission backpressure threshold
 	quarantineAfter int
+	name            string // Options.WorkerName, stamped on job statuses
 	cache           *resultCache
 
 	journal *journal
@@ -173,6 +177,7 @@ func newManager(o Options) (*Manager, error) {
 		gridShards:      gridShards,
 		queueDepth:      queueDepth,
 		quarantineAfter: quarantineAfter,
+		name:            o.WorkerName,
 		cache:           newResultCache(o.CacheEntries),
 		baseCtx:         ctx,
 		baseCancel:      cancel,
@@ -305,7 +310,7 @@ func (m *Manager) recover(dataDir string) ([]*Job, error) {
 		if jj.Attempts > 0 {
 			m.attempts[jj.ID] = jj.Attempts
 		}
-		j := &Job{ID: jj.ID, Key: jj.Key, Req: jj.Req, events: newEventLog(), done: make(chan struct{})}
+		j := &Job{ID: jj.ID, Key: jj.Key, Req: jj.Req, worker: m.name, events: newEventLog(), done: make(chan struct{})}
 		j.state = StateQueued
 		j.attempts = jj.Attempts
 		m.jobs[jj.ID] = j
@@ -321,7 +326,7 @@ func (m *Manager) recover(dataDir string) ([]*Job, error) {
 // materializeDone installs a finished job served from persisted state.
 // Callers hold no locks (construction time) or m.mu (Submit path).
 func (m *Manager) materializeDone(id, key string, req JobRequest, entry *cacheEntry) *Job {
-	j := &Job{ID: id, Key: key, Req: req, events: newEventLog(), done: make(chan struct{})}
+	j := &Job{ID: id, Key: key, Req: req, worker: m.name, events: newEventLog(), done: make(chan struct{})}
 	j.cacheHit = true
 	j.state = StateDone
 	j.entry = entry
@@ -343,7 +348,7 @@ func quarantineErr(attempts int) error {
 
 // materializeQuarantined installs a parked poison job.
 func (m *Manager) materializeQuarantined(id, key string, req JobRequest, attempts int) *Job {
-	j := &Job{ID: id, Key: key, Req: req, events: newEventLog(), done: make(chan struct{})}
+	j := &Job{ID: id, Key: key, Req: req, worker: m.name, events: newEventLog(), done: make(chan struct{})}
 	j.state = StateQuarantined
 	j.attempts = attempts
 	j.err = quarantineErr(attempts)
@@ -430,7 +435,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, bool, error) {
 		m.submitted.Add(-1)
 		return nil, false, err
 	}
-	j := &Job{ID: id, Key: key, Req: req, events: newEventLog(), done: make(chan struct{})}
+	j := &Job{ID: id, Key: key, Req: req, worker: m.name, events: newEventLog(), done: make(chan struct{})}
 	j.state = StateQueued
 	j.attempts = m.attempts[id]
 	queue <- j

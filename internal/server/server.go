@@ -48,6 +48,11 @@ type Options struct {
 	// mid-run when the process dies) park a job as "quarantined" instead
 	// of re-executing it (0 = 3).
 	QuarantineAfter int
+	// WorkerName is this daemon's identity, stamped on every job status
+	// document (fsmemd -advertise sets it for cluster workers so
+	// per-worker attribution survives end to end). Empty leaves statuses
+	// unattributed.
+	WorkerName string
 	// now overrides the clock for the rate limiter and Retry-After
 	// computation (tests; nil = time.Now).
 	now func() time.Time
