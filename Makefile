@@ -48,7 +48,8 @@ bench-baseline:
 	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/benchdiff -write -note "make bench-baseline"
 
 benchdiff:
-	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/benchdiff
+	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/benchdiff -src . -trend \
+		-ratio-max BenchmarkSimulateFastForwardXalanRate2:BenchmarkSimulateDenseXalanRate2:0.5
 
 # chaos runs the fault-injection campaign against every scheduler; it exits
 # non-zero if any Fixed Service variant lets a fault through undetected.

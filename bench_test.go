@@ -228,6 +228,40 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles), "bus_cycles/run")
 }
 
+// benchLoop times one full simulation of the idle-heavy xalancbmk rate-2
+// mix — the event-horizon kernel's home turf: two low-MPKI cores leave long
+// interaction-free stretches for the clock to jump over.
+func benchLoop(b *testing.B, dense bool) {
+	mix, err := workload.Rate("xalancbmk", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(mix, sim.Baseline)
+		cfg.TargetReads = 5000
+		cfg.DenseLoop = dense
+		res, err := sim.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Run.BusCycles
+	}
+	b.ReportMetric(float64(cycles), "bus_cycles/run")
+}
+
+// BenchmarkSimulateDenseXalanRate2 pins the dense per-cycle loop on the
+// idle-heavy workload. Its only purpose is to serve as the denominator for
+// the fast-forward speedup gate (benchdiff -ratio-max in CI), which makes
+// the ≥2× claim immune to runner-speed drift: both sides run on the same
+// machine in the same invocation.
+func BenchmarkSimulateDenseXalanRate2(b *testing.B) { benchLoop(b, true) }
+
+// BenchmarkSimulateFastForwardXalanRate2 is the same workload under the
+// event-horizon kernel (DESIGN.md §13). CI gates
+// fast-forward ≤ 0.5 × dense on this pair.
+func BenchmarkSimulateFastForwardXalanRate2(b *testing.B) { benchLoop(b, false) }
+
 // benchObserved runs the BenchmarkSimulatorThroughput workload with the
 // given observability options (nil = tracing compiled in but disabled).
 func benchObserved(b *testing.B, o *ObserveOptions) {

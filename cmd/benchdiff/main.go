@@ -23,12 +23,22 @@
 //
 // A benchmark present in the baseline but missing from the run fails the
 // gate (a deleted benchmark must be removed from the baseline on purpose,
-// with -write). With -src the gate is two-way: the source tree is scanned
+// with -write), and so does a benchmark whose unit set grew relative to
+// the baseline (e.g. -benchmem added allocs/op): unrecorded units would be
+// entirely ungated, so the mismatch is a failure with an explicit remedy
+// rather than a silent gap. With -src the gate is two-way: the source tree is scanned
 // for `func Benchmark*` declarations in *_test.go files, and any
 // benchmark that exists in the tree but has no baseline entry fails —
 // an ungated benchmark is a regression waiting to land unnoticed.
 // Without -src, new benchmarks are merely reported, so ad-hoc local runs
 // don't require a two-step dance.
+//
+// Three flags support the CI benchmark-trend pipeline: -record writes the
+// parsed run to a dated snapshot (uploaded as an artifact, so the
+// performance trajectory accumulates), -trend prints a ns/op table of the
+// run against the baseline, and -ratio-max NUM:DEN:MAX gates a same-run
+// ns/op ratio (how the fast-forward kernel's ≥2× speedup over the dense
+// loop is enforced without machine-speed flake).
 //
 // Exit status: 0 clean, 1 regression or drift, 2 usage or parse error.
 package main
@@ -169,6 +179,21 @@ func compare(base Baseline, got map[string]Entry, timeTol, metricTol float64) []
 				}
 			}
 		}
+		// The reverse direction: the run reports units the baseline has
+		// never seen (a benchmark grew -benchmem columns or a new
+		// ReportMetric). Those values would be entirely ungated, so the unit
+		// set changing is itself a failure with an explicit remedy.
+		added := make([]string, 0)
+		for u := range have.Metrics {
+			if _, ok := want.Metrics[u]; !ok {
+				added = append(added, u)
+			}
+		}
+		if len(added) > 0 {
+			sort.Strings(added)
+			problems = append(problems, fmt.Sprintf("%s: unit set changed — run reports %s absent from the baseline (regenerate with -write to gate them)",
+				name, strings.Join(added, ", ")))
+		}
 	}
 	return problems
 }
@@ -238,6 +263,73 @@ func ungated(tree []string, base Baseline) []string {
 	return missing
 }
 
+// printTrend writes a ns/op comparison table of the run against the
+// baseline: one row per benchmark name in either set, with the relative
+// delta. CI prints this on every bench run so the performance trajectory
+// is visible in the job log next to the recorded snapshot artifact.
+func printTrend(w io.Writer, base Baseline, got map[string]Entry) {
+	names := map[string]bool{}
+	for n := range base.Benchmarks {
+		names[n] = true
+	}
+	for n := range got {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	fmt.Fprintf(w, "%-60s %15s %15s %10s\n", "benchmark", "baseline ns/op", "run ns/op", "delta")
+	for _, n := range sorted {
+		want, inBase := base.Benchmarks[n]
+		have, inRun := got[n]
+		switch {
+		case !inRun:
+			fmt.Fprintf(w, "%-60s %15.0f %15s %10s\n", n, want.NsPerOp, "-", "gone")
+		case !inBase:
+			fmt.Fprintf(w, "%-60s %15s %15.0f %10s\n", n, "-", have.NsPerOp, "new")
+		case want.NsPerOp > 0:
+			fmt.Fprintf(w, "%-60s %15.0f %15.0f %+9.1f%%\n", n, want.NsPerOp, have.NsPerOp, 100*(have.NsPerOp/want.NsPerOp-1))
+		default:
+			fmt.Fprintf(w, "%-60s %15.0f %15.0f %10s\n", n, want.NsPerOp, have.NsPerOp, "n/a")
+		}
+	}
+}
+
+// checkRatio enforces a NUM:DEN:MAX ns/op ratio within one run: it fails
+// when got[NUM] takes more than MAX times got[DEN]. This is how the
+// fast-forward kernel's ≥2× speedup is gated
+// (BenchmarkSimulateFastForward:BenchmarkSimulateDense:0.5): a same-run
+// ratio is immune to machine-speed drift, unlike comparing either side
+// against a recorded absolute time.
+func checkRatio(spec string, got map[string]Entry) (problem string, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return "", fmt.Errorf("ratio spec %q: want NUM:DEN:MAX", spec)
+	}
+	limit, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || limit <= 0 {
+		return "", fmt.Errorf("ratio spec %q: bad limit %q", spec, parts[2])
+	}
+	num, ok := got[parts[0]]
+	if !ok {
+		return fmt.Sprintf("ratio gate: %s missing from run", parts[0]), nil
+	}
+	den, ok := got[parts[1]]
+	if !ok {
+		return fmt.Sprintf("ratio gate: %s missing from run", parts[1]), nil
+	}
+	if den.NsPerOp <= 0 {
+		return fmt.Sprintf("ratio gate: %s has no ns/op", parts[1]), nil
+	}
+	if r := num.NsPerOp / den.NsPerOp; r > limit {
+		return fmt.Sprintf("ratio gate: %s/%s = %.3f exceeds %.3f (%.2fx speedup, need ≥%.2fx)",
+			parts[0], parts[1], r, limit, 1/r, 1/limit), nil
+	}
+	return "", nil
+}
+
 // relDiff is |a-b| scaled by the larger magnitude, with exact-zero pairs
 // equal (many figure metrics are exactly 0 by construction).
 func relDiff(a, b float64) float64 {
@@ -256,6 +348,9 @@ func run() int {
 	timeTol := flag.Float64("time-tolerance", 0.15, "allowed one-sided ns/op, B/op, allocs/op regression (0.15 = +15%)")
 	metricTol := flag.Float64("metric-tolerance", 0.01, "allowed two-sided drift for custom metrics (0.01 = 1%)")
 	srcDir := flag.String("src", "", "source tree to scan for Benchmark* declarations; any found without a baseline entry fails the gate")
+	record := flag.String("record", "", "also write the parsed run as a dated snapshot to this path (the CI trend artifact); gating continues normally")
+	trend := flag.Bool("trend", false, "print a ns/op trend table of the run against the baseline")
+	ratioMax := flag.String("ratio-max", "", "same-run ns/op ratio gate NUM:DEN:MAX, e.g. BenchmarkSimulateFastForward:BenchmarkSimulateDense:0.5")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -272,6 +367,20 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return 2
+	}
+
+	if *record != "" {
+		doc := Baseline{Note: *note, Benchmarks: got}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*record, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		fmt.Printf("benchdiff: recorded %d benchmarks to %s\n", len(got), *record)
 	}
 
 	if *write {
@@ -301,6 +410,19 @@ func run() int {
 	}
 
 	problems := compare(base, got, *timeTol, *metricTol)
+	if *ratioMax != "" {
+		p, err := checkRatio(*ratioMax, got)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		if p != "" {
+			problems = append(problems, p)
+		}
+	}
+	if *trend {
+		printTrend(os.Stdout, base, got)
+	}
 	if *srcDir != "" {
 		tree, err := scanBenchmarks(*srcDir)
 		if err != nil {

@@ -136,6 +136,66 @@ func TestCompareMissingMetricFails(t *testing.T) {
 	}
 }
 
+func TestCompareUnitSetChangeFails(t *testing.T) {
+	// A benchmark that starts reporting units the baseline has never seen
+	// (say -benchmem turned on, adding B/op and allocs/op) must fail with
+	// a pointer at -write, not pass with the new units ungated.
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkSolver": {NsPerOp: 1_000_000},
+	}}
+	got := map[string]Entry{
+		"BenchmarkSolver": {NsPerOp: 1_000_000, Metrics: map[string]float64{"B/op": 512, "allocs/op": 12}},
+	}
+	p := compare(base, got, 0.15, 0.01)
+	if len(p) != 1 {
+		t.Fatalf("unit set change produced %d problems, want 1: %v", len(p), p)
+	}
+	if !strings.Contains(p[0], "unit set changed") || !strings.Contains(p[0], "-write") {
+		t.Fatalf("unit-set failure lacks a clear message: %q", p[0])
+	}
+}
+
+func TestCheckRatio(t *testing.T) {
+	got := map[string]Entry{
+		"BenchmarkFast":  {NsPerOp: 400},
+		"BenchmarkDense": {NsPerOp: 1000},
+	}
+	if p, err := checkRatio("BenchmarkFast:BenchmarkDense:0.5", got); err != nil || p != "" {
+		t.Fatalf("2.5x speedup failed a 2x gate: p=%q err=%v", p, err)
+	}
+	if p, err := checkRatio("BenchmarkFast:BenchmarkDense:0.25", got); err != nil || p == "" {
+		t.Fatalf("2.5x speedup passed a 4x gate: err=%v", err)
+	}
+	if p, err := checkRatio("BenchmarkMissing:BenchmarkDense:0.5", got); err != nil || !strings.Contains(p, "missing") {
+		t.Fatalf("missing numerator not flagged: p=%q err=%v", p, err)
+	}
+	if _, err := checkRatio("malformed", got); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if _, err := checkRatio("a:b:zero", got); err == nil {
+		t.Fatal("non-numeric limit accepted")
+	}
+}
+
+func TestPrintTrend(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkOld":    {NsPerOp: 1000},
+		"BenchmarkShared": {NsPerOp: 1000},
+	}}
+	got := map[string]Entry{
+		"BenchmarkShared": {NsPerOp: 1200},
+		"BenchmarkNew":    {NsPerOp: 500},
+	}
+	var sb strings.Builder
+	printTrend(&sb, base, got)
+	out := sb.String()
+	for _, want := range []string{"BenchmarkOld", "gone", "BenchmarkNew", "new", "BenchmarkShared", "+20.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestScanBenchmarksFindsTreeDeclarations(t *testing.T) {
 	dir := t.TempDir()
 	write := func(rel, content string) {

@@ -381,6 +381,28 @@ func (f *FS) Tick(c *mem.Controller) {
 	}
 }
 
+// NextEvent implements mem.EventSource. The FS schedule is static and
+// precomputed, so the next tick that can do anything is exactly the earlier
+// of the next planning boundary (interval start for reordered BP, slot
+// select cycle for the grid variants) and the next planned command's issue
+// cycle. Refresh, power-down, and dummy insertion are all folded into
+// planning, so they need no horizon of their own.
+func (f *FS) NextEvent(c *mem.Controller) int64 {
+	var h int64
+	if f.variant == FSReorderedBank {
+		h = f.nextInterval * f.q
+	} else {
+		h = f.slotSelectCycle(f.nextSlot)
+	}
+	if len(f.pending) > 0 && f.pending[0].cycle < h {
+		h = f.pending[0].cycle
+	}
+	if h < c.Cycle {
+		h = c.Cycle
+	}
+	return h
+}
+
 func (f *FS) issue(c *mem.Controller, pc plannedCmd) {
 	var err error
 	if pc.suppressed {

@@ -1,0 +1,246 @@
+package cpu
+
+import (
+	"testing"
+
+	"fsmem/internal/dram"
+	"fsmem/internal/stats"
+	"fsmem/internal/trace"
+)
+
+// attemptMem counts every enqueue attempt — the interaction NextInteraction
+// predicts — on top of fakeMem's completion control.
+type attemptMem struct {
+	fakeMem
+	attempts int
+}
+
+func (m *attemptMem) EnqueueRead(d int, a dram.Address, done func()) bool {
+	m.attempts++
+	return m.fakeMem.EnqueueRead(d, a, done)
+}
+
+func (m *attemptMem) EnqueueWrite(d int, a dram.Address) bool {
+	m.attempts++
+	return m.fakeMem.EnqueueWrite(d, a)
+}
+
+func newAttemptMem() *attemptMem {
+	return &attemptMem{fakeMem: fakeMem{readCap: 1 << 30, writeCap: 1 << 30}}
+}
+
+// TestNextInteractionExact drives each scenario to an interesting state and
+// then checks NextInteraction is exact: no enqueue attempt happens in the
+// k-1 cycles it declares free (a late horizon would silently change
+// simulation results), and the attempt really lands on cycle k (a
+// conservative horizon would only cost speed, but exactness is what ffScan
+// promises).
+func TestNextInteractionExact(t *testing.T) {
+	cases := []struct {
+		name  string
+		refs  []trace.Ref
+		setup func(c *Core, m *attemptMem)
+	}{
+		{"immediate-read", []trace.Ref{{Gap: 0}, {Gap: 1 << 20}}, nil},
+		{"near-read", []trace.Ref{{Gap: 10}, {Gap: 1 << 20}}, nil},
+		{"far-read", []trace.Ref{{Gap: 3000}, {Gap: 1 << 20}}, nil},
+		{"write", []trace.Ref{{Gap: 5, Write: true}, {Gap: 1 << 20}}, nil},
+		{"pure-compute", nil, nil}, // SliceStream with no refs: one huge gap
+		{"mid-flight", []trace.Ref{{Gap: 4}, {Gap: 4}, {Gap: 4}, {Gap: 1 << 20}},
+			func(c *Core, m *attemptMem) {
+				for i := 0; i < 3; i++ {
+					c.Cycle()
+				}
+			}},
+		{"after-completion", []trace.Ref{{Gap: 0}, {Gap: 200}, {Gap: 1 << 20}},
+			func(c *Core, m *attemptMem) {
+				for i := 0; i < 20; i++ {
+					c.Cycle()
+				}
+				m.completeOldest()
+			}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := newAttemptMem()
+			var st stats.Domain
+			c := NewCore(0, &trace.SliceStream{Refs: tc.refs}, m, &st)
+			if tc.setup != nil {
+				tc.setup(c, m)
+			}
+			k := c.NextInteraction()
+			if k == Forever {
+				t.Fatalf("NextInteraction = Forever, expected a reachable interaction")
+			}
+			before := m.attempts
+			for i := int64(0); i < k-1; i++ {
+				c.Cycle()
+				if m.attempts != before {
+					t.Fatalf("enqueue attempt on declared-free cycle %d of %d (horizon too late)", i+1, k)
+				}
+			}
+			c.Cycle()
+			if m.attempts != before+1 {
+				t.Fatalf("no enqueue attempt on cycle %d (horizon too early: attempts %d -> %d)",
+					k, before, m.attempts)
+			}
+		})
+	}
+}
+
+// TestNextInteractionForever pins the stalled states: a core whose
+// retirement is blocked on an outstanding read with no ROB room to reach
+// the next reference can never interact without an external completion.
+func TestNextInteractionForever(t *testing.T) {
+	m := newAttemptMem()
+	var st stats.Domain
+	// Read at instruction 0 blocks retirement; the next reference sits a
+	// full gap beyond anything a 64-entry ROB can fetch.
+	c := NewCore(0, &trace.SliceStream{Refs: []trace.Ref{{Gap: 0}, {Gap: 1 << 20}}}, m, &st)
+	for i := 0; i < 30; i++ {
+		c.Cycle()
+	}
+	if k := c.NextInteraction(); k != Forever {
+		t.Fatalf("blocked core reports NextInteraction %d, want Forever", k)
+	}
+	before := m.attempts
+	for i := 0; i < 5000; i++ {
+		c.Cycle()
+	}
+	if m.attempts != before {
+		t.Fatal("blocked core interacted without a completion")
+	}
+	m.completeOldest()
+	if k := c.NextInteraction(); k == Forever {
+		t.Fatal("core still Forever after its read completed")
+	}
+}
+
+// TestNextInteractionBackpressure: a rejected enqueue is retried — with
+// per-cycle side effects in the real controller — so a core stalled on
+// backpressure must report the very next cycle as interacting.
+func TestNextInteractionBackpressure(t *testing.T) {
+	m := newAttemptMem()
+	m.rejectNext = true
+	var st stats.Domain
+	c := NewCore(0, &trace.SliceStream{Refs: []trace.Ref{{Gap: 2}, {Gap: 1 << 20}}}, m, &st)
+	for i := 0; i < 5; i++ {
+		c.Cycle()
+	}
+	if m.attempts == 0 {
+		t.Fatal("setup failed: no rejected attempt yet")
+	}
+	if k := c.NextInteraction(); k != 1 {
+		t.Fatalf("backpressured core reports NextInteraction %d, want 1 (retry every cycle)", k)
+	}
+	before := m.attempts
+	c.Cycle()
+	if m.attempts != before+1 {
+		t.Fatal("backpressured core did not retry on the next cycle")
+	}
+}
+
+// TestSkipMatchesDense: Skip(n) must leave the core in exactly the state n
+// Cycle calls would, for spans the horizon declares interaction-free.
+func TestSkipMatchesDense(t *testing.T) {
+	refs := []trace.Ref{{Gap: 37}, {Gap: 120, Write: true}, {Gap: 9}, {Gap: 1 << 20}}
+	for _, warm := range []int{0, 3, 11} {
+		for _, frac := range []int64{1, 2, 3} {
+			ma, mb := newAttemptMem(), newAttemptMem()
+			var sa, sb stats.Domain
+			a := NewCore(0, &trace.SliceStream{Refs: refs}, ma, &sa)
+			b := NewCore(0, &trace.SliceStream{Refs: refs}, mb, &sb)
+			for i := 0; i < warm; i++ {
+				a.Cycle()
+				b.Cycle()
+			}
+			k := a.NextInteraction()
+			if k == Forever || k < 2 {
+				continue
+			}
+			n := (k - 1) / frac
+			if n == 0 {
+				continue
+			}
+			for i := int64(0); i < n; i++ {
+				a.Cycle()
+			}
+			b.Skip(n)
+			if a.retireIdx != b.retireIdx || a.fetchIdx != b.fetchIdx || len(a.reads) != len(b.reads) {
+				t.Fatalf("warm=%d n=%d: dense (r=%d f=%d reads=%d) vs skip (r=%d f=%d reads=%d)",
+					warm, n, a.retireIdx, a.fetchIdx, len(a.reads), b.retireIdx, b.fetchIdx, len(b.reads))
+			}
+			if sa != sb {
+				t.Fatalf("warm=%d n=%d: stats diverged: dense %+v vs skip %+v", warm, n, sa, sb)
+			}
+			if ma.attempts != mb.attempts {
+				t.Fatalf("warm=%d n=%d: skip performed %d attempts, dense %d", warm, n, mb.attempts, ma.attempts)
+			}
+		}
+	}
+}
+
+// FuzzNextEvent is the property harness for the fast-forward arithmetic:
+// one core advances densely, its twin jumps via NextInteraction + Skip, and
+// after every jump the two must agree on every observable — indices,
+// outstanding reads, enqueue attempts, and statistics. Completions and
+// backpressure are injected pseudo-randomly (identically on both) to reach
+// the stall/resume transitions where off-by-one horizons hide.
+func FuzzNextEvent(f *testing.F) {
+	f.Add(uint64(1), uint8(40))
+	f.Add(uint64(0xdeadbeef), uint8(200))
+	f.Add(uint64(42), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, rounds uint8) {
+		rng := trace.NewRNG(seed)
+		refs := make([]trace.Ref, 1+rng.Intn(16))
+		for i := range refs {
+			refs[i] = trace.Ref{Gap: rng.Intn(200), Write: rng.Bool(0.3)}
+		}
+		ma, mb := newAttemptMem(), newAttemptMem()
+		var sa, sb stats.Domain
+		dense := NewCore(0, &trace.SliceStream{Refs: refs}, ma, &sa)
+		jump := NewCore(0, &trace.SliceStream{Refs: refs}, mb, &sb)
+		for r := 0; r < int(rounds); r++ {
+			ka, kb := dense.NextInteraction(), jump.NextInteraction()
+			if ka != kb {
+				t.Fatalf("round %d: NextInteraction diverged: dense %d vs jump %d", r, ka, kb)
+			}
+			if ka == Forever {
+				if len(ma.pending) == 0 {
+					break // truly finished (stream drained into a stall with nothing in flight)
+				}
+				ma.completeOldest()
+				mb.completeOldest()
+				continue
+			}
+			reject := rng.Bool(0.2)
+			ma.rejectNext, mb.rejectNext = reject, reject
+			// Dense twin: ka single cycles. Jump twin: one fast-forward jump
+			// over the free span, then the interacting cycle.
+			for i := int64(0); i < ka; i++ {
+				dense.Cycle()
+			}
+			jump.Skip(ka - 1)
+			jump.Cycle()
+			ma.rejectNext, mb.rejectNext = false, false
+			if rng.Bool(0.3) {
+				ma.completeOldest()
+				mb.completeOldest()
+			}
+			if dense.retireIdx != jump.retireIdx || dense.fetchIdx != jump.fetchIdx {
+				t.Fatalf("round %d: indices diverged: dense (r=%d f=%d) vs jump (r=%d f=%d)",
+					r, dense.retireIdx, dense.fetchIdx, jump.retireIdx, jump.fetchIdx)
+			}
+			if len(dense.reads) != len(jump.reads) || dense.OutstandingReads() != jump.OutstandingReads() {
+				t.Fatalf("round %d: outstanding reads diverged", r)
+			}
+			if ma.attempts != mb.attempts {
+				t.Fatalf("round %d: attempts diverged: dense %d vs jump %d", r, ma.attempts, mb.attempts)
+			}
+			if sa != sb {
+				t.Fatalf("round %d: stats diverged: dense %+v vs jump %+v", r, sa, sb)
+			}
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // NeverCycle is a sentinel for "has not happened"; it is far enough in the
 // past that no timing constraint measured from it can ever block.
@@ -161,13 +164,35 @@ func (ch *Channel) PowerDownCycles(rank int) int64 {
 
 func (ch *Channel) bank(cmd Command) *bankState { return &ch.ranks[cmd.Rank].banks[cmd.Bank] }
 
-func reject(cmd Command, cycle int64, constraint string, readyAt int64) error {
+// errNotReady is the shared rejection value of the allocation-free probe
+// path: schedulers that poll legality every cycle and back off on failure
+// never read the constraint detail, so building a TimingError for them
+// would allocate on every failed probe of the hot loop.
+var errNotReady = errors.New("dram: command not ready (probe)")
+
+func reject(explain bool, cmd Command, cycle int64, constraint string, readyAt int64) error {
+	if !explain {
+		return errNotReady
+	}
 	return &TimingError{Cmd: cmd, Cycle: cycle, Constraint: constraint, ReadyAt: readyAt}
 }
 
 // CanIssue reports whether cmd may legally issue on the command bus at the
-// given cycle, checking bus availability and every timing constraint.
+// given cycle, checking bus availability and every timing constraint. The
+// returned error carries the violated constraint and the ready-at cycle.
 func (ch *Channel) CanIssue(cmd Command, cycle int64) error {
+	return ch.canIssue(cmd, cycle, true)
+}
+
+// Ready is CanIssue as an allocation-free predicate, for schedulers that
+// probe legality in their hot loop and treat a rejection as back-off.
+func (ch *Channel) Ready(cmd Command, cycle int64) bool {
+	return ch.canIssue(cmd, cycle, false) == nil
+}
+
+// canIssue is the shared check body; explain selects between detailed
+// TimingError construction and the shared errNotReady sentinel.
+func (ch *Channel) canIssue(cmd Command, cycle int64, explain bool) error {
 	if cmd.Rank < 0 || cmd.Rank >= len(ch.ranks) {
 		return fmt.Errorf("dram: rank %d out of range [0,%d)", cmd.Rank, len(ch.ranks))
 	}
@@ -177,17 +202,17 @@ func (ch *Channel) CanIssue(cmd Command, cycle int64) error {
 		}
 	}
 	if cycle <= ch.lastCmdCycle {
-		return reject(cmd, cycle, "command bus (one command per cycle, in order)", ch.lastCmdCycle+1)
+		return reject(explain, cmd, cycle, "command bus (one command per cycle, in order)", ch.lastCmdCycle+1)
 	}
 	rk := &ch.ranks[cmd.Rank]
 	if rk.poweredDown && cmd.Kind != KindPowerUp {
-		return reject(cmd, cycle, "rank powered down", cycle)
+		return reject(explain, cmd, cycle, "rank powered down", cycle)
 	}
 	if !rk.poweredDown && cycle < rk.powerUpReady && cmd.Kind != KindPowerDown {
-		return reject(cmd, cycle, "tXP (power-up exit)", rk.powerUpReady)
+		return reject(explain, cmd, cycle, "tXP (power-up exit)", rk.powerUpReady)
 	}
 	if cycle < rk.refreshUntil && cmd.Kind != KindPowerDown && cmd.Kind != KindPowerUp {
-		return reject(cmd, cycle, "tRFC (refresh in progress)", rk.refreshUntil)
+		return reject(explain, cmd, cycle, "tRFC (refresh in progress)", rk.refreshUntil)
 	}
 
 	p := ch.P
@@ -196,107 +221,113 @@ func (ch *Channel) CanIssue(cmd Command, cycle int64) error {
 	case KindActivate:
 		bk := ch.bank(cmd)
 		if bk.openRow != ClosedRow {
-			return reject(cmd, cycle, "bank already open (needs PRE)", NeverCycle)
+			return reject(explain, cmd, cycle, "bank already open (needs PRE)", NeverCycle)
 		}
 		if bk.prechargeStart != NeverCycle && cycle < bk.prechargeStart+int64(p.TRP+der.TRP) {
-			return reject(cmd, cycle, "tRP", bk.prechargeStart+int64(p.TRP+der.TRP))
+			return reject(explain, cmd, cycle, "tRP", bk.prechargeStart+int64(p.TRP+der.TRP))
 		}
 		if cycle < bk.lastAct+int64(p.TRC+der.TRC) {
-			return reject(cmd, cycle, "tRC", bk.lastAct+int64(p.TRC+der.TRC))
+			return reject(explain, cmd, cycle, "tRC", bk.lastAct+int64(p.TRC+der.TRC))
 		}
 		if cycle < rk.actHist[0]+int64(p.RRDOther()+der.TRRD) {
-			return reject(cmd, cycle, "tRRD", rk.actHist[0]+int64(p.RRDOther()+der.TRRD))
+			return reject(explain, cmd, cycle, "tRRD", rk.actHist[0]+int64(p.RRDOther()+der.TRRD))
 		}
 		if g := p.BankGroup(cmd.Bank); cycle < rk.groupLastAct[g]+int64(p.RRDSame()+der.TRRD) {
-			return reject(cmd, cycle, "tRRD_L (same bank group)", rk.groupLastAct[g]+int64(p.RRDSame()+der.TRRD))
+			return reject(explain, cmd, cycle, "tRRD_L (same bank group)", rk.groupLastAct[g]+int64(p.RRDSame()+der.TRRD))
 		}
 		if oldest := rk.actHist[3]; oldest != NeverCycle && cycle < oldest+int64(p.TFAW+der.TFAW) {
-			return reject(cmd, cycle, "tFAW", oldest+int64(p.TFAW+der.TFAW))
+			return reject(explain, cmd, cycle, "tFAW", oldest+int64(p.TFAW+der.TFAW))
 		}
 
 	case KindRead, KindReadAP:
 		bk := ch.bank(cmd)
 		if bk.openRow == ClosedRow {
-			return reject(cmd, cycle, "read to closed bank", NeverCycle)
+			return reject(explain, cmd, cycle, "read to closed bank", NeverCycle)
 		}
 		if cycle < bk.lastAct+int64(p.TRCD+der.TRCD) {
-			return reject(cmd, cycle, "tRCD", bk.lastAct+int64(p.TRCD+der.TRCD))
+			return reject(explain, cmd, cycle, "tRCD", bk.lastAct+int64(p.TRCD+der.TRCD))
 		}
 		if cycle < rk.lastCAS+int64(p.CCDOther()+der.TCCD) {
-			return reject(cmd, cycle, "tCCD", rk.lastCAS+int64(p.CCDOther()+der.TCCD))
+			return reject(explain, cmd, cycle, "tCCD", rk.lastCAS+int64(p.CCDOther()+der.TCCD))
 		}
 		if cycle < rk.lastWriteDataEnd+int64(p.WTROther()+der.TWTR) {
-			return reject(cmd, cycle, "tWTR", rk.lastWriteDataEnd+int64(p.WTROther()+der.TWTR))
+			return reject(explain, cmd, cycle, "tWTR", rk.lastWriteDataEnd+int64(p.WTROther()+der.TWTR))
 		}
 		if g := p.BankGroup(cmd.Bank); true {
 			if cycle < rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD) {
-				return reject(cmd, cycle, "tCCD_L (same bank group)", rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD))
+				return reject(explain, cmd, cycle, "tCCD_L (same bank group)", rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD))
 			}
 			if cycle < rk.groupLastWriteDataEnd[g]+int64(p.WTRSame()+der.TWTR) {
-				return reject(cmd, cycle, "tWTR_L (same bank group)", rk.groupLastWriteDataEnd[g]+int64(p.WTRSame()+der.TWTR))
+				return reject(explain, cmd, cycle, "tWTR_L (same bank group)", rk.groupLastWriteDataEnd[g]+int64(p.WTRSame()+der.TWTR))
 			}
 		}
-		if err := ch.checkDataBus(cmd, cycle, cycle+int64(p.TCAS)); err != nil {
+		if err := ch.checkDataBus(cmd, cycle, cycle+int64(p.TCAS), explain); err != nil {
 			return err
 		}
 
 	case KindWrite, KindWriteAP:
 		bk := ch.bank(cmd)
 		if bk.openRow == ClosedRow {
-			return reject(cmd, cycle, "write to closed bank", NeverCycle)
+			return reject(explain, cmd, cycle, "write to closed bank", NeverCycle)
 		}
 		if cycle < bk.lastAct+int64(p.TRCD+der.TRCD) {
-			return reject(cmd, cycle, "tRCD", bk.lastAct+int64(p.TRCD+der.TRCD))
+			return reject(explain, cmd, cycle, "tRCD", bk.lastAct+int64(p.TRCD+der.TRCD))
 		}
 		if cycle < rk.lastCAS+int64(p.CCDOther()+der.TCCD) {
-			return reject(cmd, cycle, "tCCD", rk.lastCAS+int64(p.CCDOther()+der.TCCD))
+			return reject(explain, cmd, cycle, "tCCD", rk.lastCAS+int64(p.CCDOther()+der.TCCD))
 		}
 		if g := p.BankGroup(cmd.Bank); cycle < rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD) {
-			return reject(cmd, cycle, "tCCD_L (same bank group)", rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD))
+			return reject(explain, cmd, cycle, "tCCD_L (same bank group)", rk.groupLastCAS[g]+int64(p.CCDSame()+der.TCCD))
 		}
-		if err := ch.checkDataBus(cmd, cycle, cycle+int64(p.TCWD)); err != nil {
+		if err := ch.checkDataBus(cmd, cycle, cycle+int64(p.TCWD), explain); err != nil {
 			return err
 		}
 
 	case KindPrecharge:
 		bk := ch.bank(cmd)
 		if bk.openRow == ClosedRow {
-			return reject(cmd, cycle, "precharge to closed bank", NeverCycle)
+			return reject(explain, cmd, cycle, "precharge to closed bank", NeverCycle)
 		}
 		if cycle < bk.lastAct+int64(p.TRAS+der.TRAS) {
-			return reject(cmd, cycle, "tRAS", bk.lastAct+int64(p.TRAS+der.TRAS))
+			return reject(explain, cmd, cycle, "tRAS", bk.lastAct+int64(p.TRAS+der.TRAS))
 		}
 		if cycle < bk.lastReadCAS+int64(p.TRTP+der.TRTP) {
-			return reject(cmd, cycle, "tRTP", bk.lastReadCAS+int64(p.TRTP+der.TRTP))
+			return reject(explain, cmd, cycle, "tRTP", bk.lastReadCAS+int64(p.TRTP+der.TRTP))
 		}
 		if cycle < bk.writeDataEnd+int64(p.TWR+der.TWR) {
-			return reject(cmd, cycle, "tWR", bk.writeDataEnd+int64(p.TWR+der.TWR))
+			return reject(explain, cmd, cycle, "tWR", bk.writeDataEnd+int64(p.TWR+der.TWR))
 		}
 
 	case KindRefresh:
 		for b := range rk.banks {
 			bk := &rk.banks[b]
 			if bk.openRow != ClosedRow {
-				return reject(cmd, cycle, fmt.Sprintf("refresh with bank %d open", b), NeverCycle)
+				if !explain {
+					return errNotReady
+				}
+				return reject(explain, cmd, cycle, fmt.Sprintf("refresh with bank %d open", b), NeverCycle)
 			}
 			if bk.prechargeStart != NeverCycle && cycle < bk.prechargeStart+int64(p.TRP+der.TRP) {
-				return reject(cmd, cycle, "tRP before refresh", bk.prechargeStart+int64(p.TRP+der.TRP))
+				return reject(explain, cmd, cycle, "tRP before refresh", bk.prechargeStart+int64(p.TRP+der.TRP))
 			}
 		}
 
 	case KindPowerDown:
 		for b := range rk.banks {
 			if rk.banks[b].openRow != ClosedRow {
-				return reject(cmd, cycle, fmt.Sprintf("power-down with bank %d open", b), NeverCycle)
+				if !explain {
+					return errNotReady
+				}
+				return reject(explain, cmd, cycle, fmt.Sprintf("power-down with bank %d open", b), NeverCycle)
 			}
 		}
 		if cycle < rk.refreshUntil {
-			return reject(cmd, cycle, "power-down during refresh", rk.refreshUntil)
+			return reject(explain, cmd, cycle, "power-down during refresh", rk.refreshUntil)
 		}
 
 	case KindPowerUp:
 		if !rk.poweredDown {
-			return reject(cmd, cycle, "power-up of powered-up rank", NeverCycle)
+			return reject(explain, cmd, cycle, "power-up of powered-up rank", NeverCycle)
 		}
 
 	default:
@@ -308,7 +339,7 @@ func (ch *Channel) CanIssue(cmd Command, cycle int64) error {
 // checkDataBus validates a burst starting at dataStart against recent and
 // scheduled transfers: bursts must not overlap, and transfers on different
 // ranks must be separated by tRTRS.
-func (ch *Channel) checkDataBus(cmd Command, cycle, dataStart int64) error {
+func (ch *Channel) checkDataBus(cmd Command, cycle, dataStart int64, explain bool) error {
 	p := ch.P
 	end := dataStart + int64(p.TBURST)
 	for _, s := range ch.dataOcc {
@@ -317,7 +348,10 @@ func (ch *Channel) checkDataBus(cmd Command, cycle, dataStart int64) error {
 			gap = int64(p.TRTRS)
 		}
 		if dataStart < s.end+gap && s.start < end+gap {
-			return reject(cmd, cycle,
+			if !explain {
+				return errNotReady
+			}
+			return reject(explain, cmd, cycle,
 				fmt.Sprintf("data bus conflict with rank %d burst [%d,%d)", s.rank, s.start, s.end),
 				s.end+gap-int64(p.TCAS))
 		}

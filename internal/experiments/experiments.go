@@ -113,6 +113,12 @@ type Settings struct {
 	// perturb what a cell records). Export with Runner.ExportTraces.
 	Observe *obs.Options
 
+	// DenseLoop runs every cell on the dense per-cycle loop instead of the
+	// fast-forward kernel (sim.Config.DenseLoop). Like Observe it is
+	// excluded from the memo key: the two loops produce byte-identical
+	// results, so the flag must never decide which cell a cache hit serves.
+	DenseLoop bool
+
 	// OnCell, when non-nil, is invoked once per grid cell the runner
 	// actually simulates (cache hits never fire it), with the cell's
 	// canonical memo key. Calls come from whichever pool worker computed
@@ -215,6 +221,7 @@ func (r *Runner) configFor(sp Spec) (sim.Config, runKey) {
 	cfg.Seed = r.S.Seed
 	cfg.TargetReads = r.S.TargetReads
 	cfg.Observe = r.S.Observe
+	cfg.DenseLoop = r.S.DenseLoop
 	if sp.Mutate != nil {
 		sp.Mutate(&cfg)
 	}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math"
 	"sort"
 
 	"fsmem/internal/dram"
@@ -45,6 +46,10 @@ type Injector struct {
 	// faulted marks domains whose own command a fault directly perturbed;
 	// the non-interference verdict treats them like load-fault targets.
 	faulted map[int]bool
+
+	// dueScratch backs the slice Due returns, reused across ticks so the
+	// controller's per-cycle poll does not allocate.
+	dueScratch []TimedCommand
 
 	Stats Counts
 }
@@ -135,8 +140,9 @@ func (in *Injector) AddReplay(cmd dram.Command, cycle int64) {
 }
 
 // Due pops every replay and extra command scheduled at or before cycle.
+// The returned slice is valid until the next call.
 func (in *Injector) Due(cycle int64) []TimedCommand {
-	var due []TimedCommand
+	due := in.dueScratch[:0]
 	for len(in.replays) > 0 && in.replays[0].Cycle <= cycle {
 		due = append(due, in.replays[0])
 		in.replays = in.replays[1:]
@@ -146,5 +152,24 @@ func (in *Injector) Due(cycle int64) []TimedCommand {
 		in.extras = in.extras[1:]
 		in.Stats.Extras++
 	}
+	in.dueScratch = due
 	return due
+}
+
+// NoDue is NextDue's answer when the injector has nothing scheduled.
+const NoDue = int64(math.MaxInt64)
+
+// NextDue returns the cycle of the earliest queued replay or extra
+// command, or NoDue when none are pending. Faults that trigger on
+// scheduler commands need no horizon of their own: commands only issue on
+// densely simulated cycles.
+func (in *Injector) NextDue() int64 {
+	h := NoDue
+	if len(in.replays) > 0 {
+		h = in.replays[0].Cycle
+	}
+	if len(in.extras) > 0 && in.extras[0].Cycle < h {
+		h = in.extras[0].Cycle
+	}
+	return h
 }

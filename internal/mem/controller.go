@@ -7,8 +7,6 @@
 package mem
 
 import (
-	"container/heap"
-
 	"fsmem/internal/dram"
 	"fsmem/internal/fault"
 	"fsmem/internal/fsmerr"
@@ -42,23 +40,65 @@ type Scheduler interface {
 	Tick(c *Controller)
 }
 
+// EventSource is implemented by schedulers that can bound their next state
+// change for the fast-forward kernel: NextEvent returns the earliest future
+// bus cycle at which the scheduler's Tick could do anything (issue a
+// command, mutate queues, emit a trace event). Returning the current cycle
+// is always safe; returning a later cycle asserts every Tick before it is a
+// no-op. Schedulers that do not implement it force dense stepping.
+type EventSource interface {
+	NextEvent(c *Controller) int64
+}
+
 type completion struct {
 	cycle int64
 	req   *Request
 }
 
+// completionHeap is a hand-rolled binary min-heap on cycle. container/heap
+// would box every completion through interface{} on Push and Pop — an
+// allocation per scheduled transaction in the controller's hot loop.
 type completionHeap []completion
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *completionHeap) push(c completion) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].cycle <= s[i].cycle {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = completion{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && s[l].cycle < s[least].cycle {
+			least = l
+		}
+		if r < n && s[r].cycle < s[least].cycle {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 // Config sizes the controller.
@@ -165,7 +205,7 @@ func (c *Controller) EnqueueRead(domain int, a dram.Address, done func()) bool {
 			delete(c.pfBuf[domain], lineKey(a))
 			c.Dom[domain].UsefulPrefetches++
 			// Serviced from the prefetch buffer: near-immediate completion.
-			heap.Push(&c.completions, completion{cycle: c.Cycle + 1, req: &Request{
+			c.completions.push(completion{cycle: c.Cycle + 1, req: &Request{
 				Domain: domain, Addr: a, Arrive: c.Cycle, done: done,
 			}})
 			return true
@@ -280,7 +320,7 @@ func (c *Controller) issue(cmd dram.Command, suppressed bool) error {
 // burst, or the end of the Q-cycle interval under reordered bank
 // partitioning.
 func (c *Controller) CompleteAt(req *Request, cycle int64) {
-	heap.Push(&c.completions, completion{cycle: cycle, req: req})
+	c.completions.push(completion{cycle: cycle, req: req})
 }
 
 // RecordFirstCommand notes queue delay when a request's first command
@@ -301,8 +341,7 @@ func (c *Controller) RecordFirstCommand(req *Request) {
 // issue.
 func (c *Controller) Tick() {
 	for len(c.completions) > 0 && c.completions[0].cycle <= c.Cycle {
-		comp := heap.Pop(&c.completions).(completion)
-		c.finish(comp.req)
+		c.finish(c.completions.pop().req)
 	}
 	if c.inj != nil {
 		for _, tc := range c.inj.Due(c.Cycle) {
@@ -320,6 +359,46 @@ func (c *Controller) Tick() {
 	}
 	c.sched.Tick(c)
 	c.Cycle++
+}
+
+// NextEvent returns the earliest future bus cycle at which this
+// controller's state can change without external input: the scheduler's own
+// horizon, capped by the earliest pending completion and the earliest
+// injector replay/extra. Returns the current cycle (no skip possible) when
+// the scheduler does not implement EventSource.
+func (c *Controller) NextEvent() int64 {
+	es, ok := c.sched.(EventSource)
+	if !ok {
+		return c.Cycle
+	}
+	h := es.NextEvent(c)
+	if len(c.completions) > 0 && c.completions[0].cycle < h {
+		h = c.completions[0].cycle
+	}
+	if c.inj != nil {
+		if d := c.inj.NextDue(); d < h {
+			h = d
+		}
+	}
+	return h
+}
+
+// AdvanceIdle jumps the controller clock by n bus cycles the caller has
+// proven idle (no completion due, scheduler Tick a no-op, no injector
+// activity). It is the fast-forward counterpart of n Tick calls.
+func (c *Controller) AdvanceIdle(n int64) {
+	c.Cycle += n
+}
+
+// TryIssue issues cmd if the channel would accept it right now, reporting
+// whether it did. It is the allocation-free probe for FR-FCFS-style
+// schedulers that treat timing rejections as back-off: Ready costs no
+// allocation on failure, unlike Issue's explanatory *TimingError.
+func (c *Controller) TryIssue(cmd dram.Command) bool {
+	if !c.Chan.Ready(cmd, c.Cycle) {
+		return false
+	}
+	return c.issue(cmd, false) == nil
 }
 
 func (c *Controller) finish(req *Request) {

@@ -5,6 +5,8 @@
 package sched
 
 import (
+	"math"
+
 	"fsmem/internal/dram"
 	"fsmem/internal/mem"
 )
@@ -24,6 +26,9 @@ type Baseline struct {
 	// Refresh state (per rank), active when RefreshEnabled.
 	RefreshEnabled  bool
 	refreshDeadline []int64
+
+	// scratch backs gather's age-ordered view, reused across ticks.
+	scratch []*mem.Request
 }
 
 // NewBaseline builds the baseline policy for the given parameters and
@@ -44,6 +49,30 @@ func NewBaseline(p dram.Params, cfg mem.Config) *Baseline {
 
 // Name implements mem.Scheduler.
 func (b *Baseline) Name() string { return "baseline" }
+
+// NextEvent implements mem.EventSource. With any request queued the policy
+// may act on the very next tick; while the drain latch is set an otherwise
+// idle tick still settles it back below the low watermark (the latch is
+// observable through ObsMetrics, so its settling cycle must stay exact).
+// Otherwise only a refresh deadline can wake the scheduler.
+func (b *Baseline) NextEvent(c *mem.Controller) int64 {
+	if b.draining || c.PendingReads() > 0 || c.PendingWrites() > 0 {
+		return c.Cycle
+	}
+	if !b.RefreshEnabled {
+		return math.MaxInt64
+	}
+	h := int64(math.MaxInt64)
+	for _, d := range b.refreshDeadline {
+		if d < h {
+			h = d
+		}
+	}
+	if h < c.Cycle {
+		h = c.Cycle // refresh overdue (e.g. blocked last tick): retry now
+	}
+	return h
+}
 
 // Tick issues at most one command according to FR-FCFS priorities.
 func (b *Baseline) Tick(c *mem.Controller) {
@@ -94,7 +123,7 @@ func (b *Baseline) serve(c *mem.Controller, writes bool) bool {
 	for _, r := range reqs {
 		if c.Chan.OpenRow(r.Addr.Rank, r.Addr.Bank) == dram.ClosedRow {
 			cmd := dram.Command{Kind: dram.KindActivate, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Row: r.Addr.Row, Domain: r.Domain}
-			if c.Issue(cmd) == nil {
+			if c.TryIssue(cmd) {
 				c.RecordFirstCommand(r)
 				r.Acted = true
 				return true
@@ -111,7 +140,7 @@ func (b *Baseline) serve(c *mem.Controller, writes bool) bool {
 			continue
 		}
 		cmd := dram.Command{Kind: dram.KindPrecharge, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Domain: r.Domain}
-		if c.Issue(cmd) == nil {
+		if c.TryIssue(cmd) {
 			return true
 		}
 	}
@@ -124,7 +153,7 @@ func (b *Baseline) gather(c *mem.Controller, writes bool) []*mem.Request {
 	if writes {
 		qs = c.WriteQ
 	}
-	var out []*mem.Request
+	out := b.scratch[:0]
 	for _, q := range qs {
 		out = append(out, q...)
 	}
@@ -134,6 +163,7 @@ func (b *Baseline) gather(c *mem.Controller, writes bool) []*mem.Request {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
+	b.scratch = out
 	return out
 }
 
@@ -158,7 +188,7 @@ func (b *Baseline) issueCAS(c *mem.Controller, r *mem.Request, write bool) bool 
 		dataStart = b.p.WriteDataStart()
 	}
 	cmd := dram.Command{Kind: kind, Rank: r.Addr.Rank, Bank: r.Addr.Bank, Col: r.Addr.Col, Domain: r.Domain}
-	if c.Issue(cmd) != nil {
+	if !c.TryIssue(cmd) {
 		return false
 	}
 	c.RecordFirstCommand(r)
@@ -190,14 +220,14 @@ func (b *Baseline) tickRefresh(c *mem.Controller) bool {
 		for bank := 0; bank < b.p.BanksPerRank; bank++ {
 			if c.Chan.OpenRow(rank, bank) != dram.ClosedRow {
 				cmd := dram.Command{Kind: dram.KindPrecharge, Rank: rank, Bank: bank, Domain: dram.NoDomain}
-				if c.Issue(cmd) == nil {
+				if c.TryIssue(cmd) {
 					return true
 				}
 				return false // blocked this cycle; retry next
 			}
 		}
 		cmd := dram.Command{Kind: dram.KindRefresh, Rank: rank, Domain: dram.NoDomain}
-		if c.Issue(cmd) == nil {
+		if c.TryIssue(cmd) {
 			b.refreshDeadline[rank] += int64(b.p.TREFI)
 			return true
 		}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"fsmem/internal/dram"
 	"fsmem/internal/mem"
@@ -116,6 +117,16 @@ func NewTP(p dram.Params, mode TPMode, domains int, turnLength int64) (*TP, erro
 // Name implements mem.Scheduler.
 func (t *TP) Name() string { return fmt.Sprintf("tp-%s-%d", t.mode, t.TurnLength) }
 
+// NextEvent implements mem.EventSource. Turn rotation itself is pure
+// arithmetic on the cycle counter, so an empty scheduler — nothing in
+// flight, nothing queued — never acts no matter which turn is live.
+func (t *TP) NextEvent(c *mem.Controller) int64 {
+	if len(t.started) > 0 || c.PendingReads() > 0 || c.PendingWrites() > 0 {
+		return c.Cycle
+	}
+	return math.MaxInt64
+}
+
 // Tick issues at most one command for the domain owning the current turn.
 func (t *TP) Tick(c *mem.Controller) {
 	turn := c.Cycle / t.TurnLength
@@ -144,7 +155,7 @@ func (t *TP) Tick(c *mem.Controller) {
 		return
 	}
 	cmd := dram.Command{Kind: dram.KindActivate, Rank: req.Addr.Rank, Bank: req.Addr.Bank, Row: req.Addr.Row, Domain: req.Domain}
-	if c.Issue(cmd) != nil {
+	if !c.TryIssue(cmd) {
 		return
 	}
 	c.RecordFirstCommand(req)
@@ -198,7 +209,7 @@ func (t *TP) issueCAS(c *mem.Controller, req *mem.Request) bool {
 		dataStart = t.p.WriteDataStart()
 	}
 	cmd := dram.Command{Kind: kind, Rank: req.Addr.Rank, Bank: req.Addr.Bank, Col: req.Addr.Col, Domain: req.Domain}
-	if c.Issue(cmd) != nil {
+	if !c.TryIssue(cmd) {
 		return false
 	}
 	req.DataEnd = c.Cycle + int64(dataStart) + int64(t.p.TBURST)

@@ -8,6 +8,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"fsmem/internal/addr"
@@ -154,7 +155,19 @@ type Config struct {
 	// end of run. Nil keeps the hot path at a single nil-check per
 	// instrumentation site (see internal/obs).
 	Observe *obs.Options
+
+	// DenseLoop disables the event-horizon fast-forward kernel and runs the
+	// original dense per-cycle loop (DESIGN.md §13). The two produce
+	// byte-identical Results — enforced by TestFastForwardEquivalence — so
+	// this is purely an escape hatch for differential testing and debugging.
+	// The FSMEM_DENSE environment variable (any non-empty value) forces the
+	// dense loop process-wide.
+	DenseLoop bool
 }
+
+// envDense pins the dense loop for the whole process, read once so the hot
+// loop never consults the environment.
+var envDense = os.Getenv("FSMEM_DENSE") != ""
 
 // DefaultConfig returns an 8-core Table 1 configuration for the given mix
 // and scheduler.
@@ -213,6 +226,12 @@ type System struct {
 	mon    *fault.Monitor
 	inj    *fault.Injector
 	spikes []*spikeState
+
+	// Fast-forward kernel accounting (see FastForward). Deliberately kept
+	// out of the obs snapshot: Results must stay byte-identical between
+	// dense and fast-forward runs, and these counters differ by definition.
+	ffJumps   int64
+	ffSkipped int64
 }
 
 // New builds the system. It validates the configuration, derives each
@@ -417,6 +436,73 @@ func (s *System) Step() {
 	}
 }
 
+// FastForward reports what the event-horizon kernel did during Run: the
+// number of clock jumps taken and the total bus cycles those jumps skipped
+// (zero under the dense loop).
+func (s *System) FastForward() (jumps, skipped int64) { return s.ffJumps, s.ffSkipped }
+
+// horizon returns the highest bus cycle h ≤ max such that every cycle in
+// [now, h) is provably a no-op for every component: the controller (its
+// scheduler's own horizon, pending completions, injector replays), pending
+// queue-pressure spikes, and every core's distance to its next memory
+// enqueue attempt. Returns the current cycle when nothing can be skipped.
+// Horizons err early, never late: a component may report an event cycle at
+// which nothing happens (costing one dense step), but must never place one
+// after a real state change — that is the byte-identity proof obligation
+// (DESIGN.md §13).
+func (s *System) horizon(max int64) int64 {
+	now := s.ctl.Cycle
+	h := s.ctl.NextEvent()
+	if h <= now {
+		return now
+	}
+	for _, sp := range s.spikes {
+		if sp.next >= len(sp.addrs) {
+			continue // fully delivered
+		}
+		if sp.at <= now {
+			return now // pumping (possibly retrying against a full queue)
+		}
+		if sp.at < h {
+			h = sp.at
+		}
+	}
+	cpb := int64(s.cfg.DRAM.CPUCyclesPerBusCycle)
+	for _, c := range s.cores {
+		k := c.NextInteraction()
+		if k == cpu.Forever {
+			continue // stalled until a completion, which bounds h above
+		}
+		// Skipping n bus cycles runs n*cpb CPU cycles per core, so the
+		// enqueue attempt k CPU cycles away caps the jump at (k-1)/cpb.
+		hc := now + (k-1)/cpb
+		if hc <= now {
+			return now
+		}
+		if hc < h {
+			h = hc
+		}
+	}
+	if h > max {
+		h = max
+	}
+	return h
+}
+
+// skipTo jumps the clock from the current cycle to h, batch-applying what
+// the skipped cycles would have done: the controller clock advances and
+// every core replays its interaction-free CPU cycles arithmetically.
+func (s *System) skipTo(h int64) {
+	n := h - s.ctl.Cycle
+	s.ctl.AdvanceIdle(n)
+	nc := n * int64(s.cfg.DRAM.CPUCyclesPerBusCycle)
+	for _, c := range s.cores {
+		c.Skip(nc)
+	}
+	s.ffJumps++
+	s.ffSkipped += n
+}
+
 // pumpSpikes force-feeds due queue-pressure spikes into their domain's
 // read queue, retrying each cycle while the queue is full.
 func (s *System) pumpSpikes() {
@@ -448,8 +534,15 @@ func (s *System) RunContext(ctx context.Context) Result {
 	if max == 0 {
 		max = 40_000_000
 	}
+	ff := !s.cfg.DenseLoop && !envDense
 	var res Result
 	start := time.Now()
+	// The watchdog/cancellation poll fires once per 8192-cycle window. The
+	// dense loop lands exactly on each multiple of 8192; a fast-forward jump
+	// may overshoot one, in which case the poll runs at the first cycle past
+	// it — same cadence, and only truncation timing (inherently wall-clock-
+	// dependent) can observe the difference.
+	var nextPoll int64
 loop:
 	for {
 		if s.ctl.Cycle >= max {
@@ -463,7 +556,8 @@ loop:
 			}
 			break
 		}
-		if s.ctl.Cycle%8192 == 0 {
+		if s.ctl.Cycle >= nextPoll {
+			nextPoll = s.ctl.Cycle - s.ctl.Cycle%8192 + 8192
 			if s.cfg.WallClockBudget > 0 && time.Since(start) > s.cfg.WallClockBudget {
 				res.Truncated = true
 				res.TruncateReason = fmt.Sprintf("wall-clock budget %v exhausted at bus cycle %d",
@@ -476,6 +570,17 @@ loop:
 				res.TruncateReason = fmt.Sprintf("context canceled at bus cycle %d: %v", s.ctl.Cycle, ctx.Err())
 				break loop
 			default:
+			}
+		}
+		if ff {
+			if h := s.horizon(max); h > s.ctl.Cycle {
+				s.skipTo(h)
+				if s.ctl.Cycle >= max {
+					continue // let the watchdog classify the stop
+				}
+				// Fall through: the cycle we landed on hosts the next event,
+				// so the dense step runs now rather than paying a second
+				// horizon computation that would just return "no skip".
 			}
 		}
 		s.pumpSpikes()

@@ -4,6 +4,8 @@
 // that experiments are reproducible byte-for-byte.
 package trace
 
+import "math"
+
 // RNG is a splitmix64 pseudo-random generator: tiny state, excellent
 // statistical quality for simulation purposes, and fully deterministic.
 type RNG struct {
@@ -46,20 +48,22 @@ func (r *RNG) Geometric(mean float64) int {
 		return 0
 	}
 	p := 1.0 / (mean + 1.0)
-	// Inverse-transform sampling on the geometric CDF.
+	// Closed-form inverse-transform sampling on the geometric CDF: the
+	// smallest n with 1-(1-p)^(n+1) > u is floor(log(1-u)/log(1-p)). O(1)
+	// regardless of the sampled value — idle workloads draw gaps in the
+	// thousands, and accumulating the CDF term by term made stream
+	// generation the simulator's hottest function.
 	u := r.Float64()
 	// Avoid log(0).
 	if u >= 1.0 {
 		u = 0.9999999999999999
 	}
-	n := 0
-	q := 1.0 - p
-	acc := p
-	cdf := acc
-	for cdf < u && n < 1<<20 {
-		acc *= q
-		cdf += acc
-		n++
+	n := int(math.Log1p(-u) / math.Log1p(-p))
+	if n < 0 {
+		n = 0
+	}
+	if n > 1<<20 {
+		n = 1 << 20
 	}
 	return n
 }
