@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race fmt staticcheck bench bench-baseline benchdiff chaos sweep cover fuzz trace clean
+.PHONY: tier1 build vet test race fmt staticcheck bench bench-baseline benchdiff chaos audit sweep cover fuzz trace clean
 
 # COVER_FLOOR is the statement-coverage percentage `make cover` enforces;
 # FUZZTIME bounds each `make fuzz` target run.
@@ -49,12 +49,18 @@ bench-baseline:
 
 benchdiff:
 	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 -run=^$$ . | $(GO) run ./cmd/benchdiff -src . -trend \
-		-ratio-max BenchmarkSimulateFastForwardXalanRate2:BenchmarkSimulateDenseXalanRate2:0.5
+		-ratio-max BenchmarkSimulateFastForwardXalanRate2:BenchmarkSimulateDenseXalanRate2:0.5 \
+		-ratio-max BenchmarkKolmogorovSmirnov:BenchmarkKolmogorovSmirnovInsertionSort:0.25
 
 # chaos runs the fault-injection campaign against every scheduler; it exits
 # non-zero if any Fixed Service variant lets a fault through undetected.
 chaos:
 	$(GO) run ./cmd/chaos
+
+# audit runs the adversarial leakage auditor over every scheduler and
+# prints one leakage certificate per line (JSONL) on stdout.
+audit:
+	$(GO) run ./cmd/audit
 
 sweep:
 	$(GO) run ./cmd/sweep -fig all

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"fsmem/internal/addr"
+	"fsmem/internal/audit"
 	"fsmem/internal/config"
 	"fsmem/internal/core"
 	"fsmem/internal/dram"
@@ -27,6 +28,7 @@ import (
 	"fsmem/internal/server/cluster"
 	"fsmem/internal/sim"
 	"fsmem/internal/stats"
+	"fsmem/internal/trace"
 	"fsmem/internal/workload"
 )
 
@@ -624,4 +626,78 @@ func BenchmarkClusterRouting(b *testing.B) {
 			b.Fatal("empty owner")
 		}
 	}
+}
+
+// BenchmarkKolmogorovSmirnov times the two-sample KS statistic on
+// realistic campaign-sized inputs. The statistic sits inside the
+// permutation-test loop (hundreds of evaluations per certificate), so
+// the sort.Float64s implementation must hold its O(n log n) shape.
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	class0, class1 := ksBenchInput(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var d float64
+	for i := 0; i < b.N; i++ {
+		d = leakage.KolmogorovSmirnov(class0, class1)
+	}
+	b.ReportMetric(d, "ks_stat")
+}
+
+// BenchmarkKolmogorovSmirnovInsertionSort is the reference the sorted
+// implementation is gated against: the same statistic over the
+// quadratic insertion sort KolmogorovSmirnov used to ship with. The
+// ratio-max gate in CI keeps the O(n log n) win locked in.
+func BenchmarkKolmogorovSmirnovInsertionSort(b *testing.B) {
+	class0, class1 := ksBenchInput(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s0 := append([]float64(nil), class0...)
+		s1 := append([]float64(nil), class1...)
+		insertionSortRef(s0)
+		insertionSortRef(s1)
+	}
+}
+
+func insertionSortRef(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func ksBenchInput(n int) (class0, class1 []float64) {
+	rng := trace.NewRNG(99)
+	class0, class1 = make([]float64, n), make([]float64, n)
+	for i := 0; i < n; i++ {
+		class0[i] = rng.Float64()
+		class1[i] = 0.1 + rng.Float64()
+	}
+	return class0, class1
+}
+
+// BenchmarkAuditCampaign runs a reduced adversarial leakage audit end to
+// end — strategy library, one adaptive refinement round, multi-seed
+// certification, permutation tests — and reports the certificate size.
+// This is the hot path of CI's audit-smoke job and the fsmemd "audit"
+// job kind.
+func BenchmarkAuditCampaign(b *testing.B) {
+	o := audit.Options{Domains: 4, Bits: 8, Seeds: 2, Permutations: 49, Rounds: 1, Seed: 42}
+	var n int
+	for i := 0; i < b.N; i++ {
+		cert, err := audit.Run(context.Background(), sim.FSNoPart, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cert.Verdict != audit.VerdictSecure {
+			b.Fatalf("FS_NP verdict %s, want SECURE", cert.Verdict)
+		}
+		raw, err := audit.MarshalCertificate(cert)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(raw)
+	}
+	b.ReportMetric(float64(n), "cert_bytes")
 }

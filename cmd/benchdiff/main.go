@@ -36,9 +36,10 @@
 // Three flags support the CI benchmark-trend pipeline: -record writes the
 // parsed run to a dated snapshot (uploaded as an artifact, so the
 // performance trajectory accumulates), -trend prints a ns/op table of the
-// run against the baseline, and -ratio-max NUM:DEN:MAX gates a same-run
-// ns/op ratio (how the fast-forward kernel's ≥2× speedup over the dense
-// loop is enforced without machine-speed flake).
+// run against the baseline, and -ratio-max NUM:DEN:MAX (repeatable)
+// gates same-run ns/op ratios (how the fast-forward kernel's ≥2× speedup
+// over the dense loop and the KS statistic's sort win are enforced
+// without machine-speed flake).
 //
 // Exit status: 0 clean, 1 regression or drift, 2 usage or parse error.
 package main
@@ -303,6 +304,12 @@ func printTrend(w io.Writer, base Baseline, got map[string]Entry) {
 // (BenchmarkSimulateFastForward:BenchmarkSimulateDense:0.5): a same-run
 // ratio is immune to machine-speed drift, unlike comparing either side
 // against a recorded absolute time.
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func checkRatio(spec string, got map[string]Entry) (problem string, err error) {
 	parts := strings.Split(spec, ":")
 	if len(parts) != 3 {
@@ -350,7 +357,8 @@ func run() int {
 	srcDir := flag.String("src", "", "source tree to scan for Benchmark* declarations; any found without a baseline entry fails the gate")
 	record := flag.String("record", "", "also write the parsed run as a dated snapshot to this path (the CI trend artifact); gating continues normally")
 	trend := flag.Bool("trend", false, "print a ns/op trend table of the run against the baseline")
-	ratioMax := flag.String("ratio-max", "", "same-run ns/op ratio gate NUM:DEN:MAX, e.g. BenchmarkSimulateFastForward:BenchmarkSimulateDense:0.5")
+	var ratioMax multiFlag
+	flag.Var(&ratioMax, "ratio-max", "same-run ns/op ratio gate NUM:DEN:MAX (repeatable), e.g. BenchmarkSimulateFastForward:BenchmarkSimulateDense:0.5")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -410,8 +418,8 @@ func run() int {
 	}
 
 	problems := compare(base, got, *timeTol, *metricTol)
-	if *ratioMax != "" {
-		p, err := checkRatio(*ratioMax, got)
+	for _, spec := range ratioMax {
+		p, err := checkRatio(spec, got)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			return 2

@@ -30,7 +30,7 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs                 submit a job (simulate, figures, leakage, chaos)
+//	POST   /v1/jobs                 submit a job (simulate, figures, leakage, chaos, audit)
 //	GET    /v1/jobs/{id}            job status
 //	GET    /v1/jobs/{id}/result     canonical JSON result document
 //	GET    /v1/jobs/{id}/events     SSE progress stream (single daemon)

@@ -8,6 +8,7 @@
 //	leakage                         # Figure 4 profiles + MI, baseline vs FS_RP
 //	leakage -sched fs_np_optimized  # any scheduler
 //	leakage -covert                 # covert channel bit-error-rate comparison
+//	leakage -covert -json           # ... as machine-readable certificate fragments
 //	leakage -j 4                    # shard profile collection across 4 workers
 //
 // The -j flag bounds the worker pool the profile collections are
@@ -25,6 +26,7 @@ import (
 	"os"
 
 	"fsmem"
+	"fsmem/internal/audit"
 	"fsmem/internal/leakage"
 	"fsmem/internal/obs"
 	"fsmem/internal/parallel"
@@ -48,6 +50,7 @@ func main() {
 	schedName := flag.String("sched", "", "single scheduler to test (default: baseline and fs_rp)")
 	samples := flag.Int64("samples", 40, "profile samples (x10K instructions)")
 	covert := flag.Bool("covert", false, "run the covert-channel experiment instead")
+	jsonOut := flag.Bool("json", false, "with -covert, emit one certificate fragment per scheduler on stdout (the cmd/audit schema)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	workers := flag.Int("j", 0, "parallel profile-collection workers (0 = GOMAXPROCS); output is identical for every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -60,16 +63,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "leakage:", err)
 		os.Exit(2)
 	}
-	code := run(*attackerName, *schedName, *samples, *seed, *workers, *covert)
+	code := run(*attackerName, *schedName, *samples, *seed, *workers, *covert, *jsonOut)
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "leakage: profiling: %v\n", err)
 	}
 	os.Exit(code)
 }
 
-func run(attackerName, schedName string, samples int64, seed uint64, workers int, covert bool) int {
+func run(attackerName, schedName string, samples int64, seed uint64, workers int, covert, jsonOut bool) int {
 	if covert {
-		return runCovert(seed)
+		return runCovert(seed, jsonOut)
 	}
 
 	attacker, err := workload.ByName(attackerName)
@@ -133,17 +136,48 @@ func run(attackerName, schedName string, samples int64, seed uint64, workers int
 	return 0
 }
 
-func runCovert(seed uint64) int {
+func runCovert(seed uint64, jsonOut bool) int {
 	message := []bool{true, false, true, true, false, false, true, false, true, true, false, true, false, false, true, false}
-	fmt.Printf("covert channel: %d-bit message, sender modulates memory intensity per window\n\n", len(message))
+	// The attack mirrors leakage.CovertChannel's intensity modulation so
+	// -json and the plain output describe the exact same experiment.
+	attack := audit.Attack{
+		Name:            "intensity",
+		Probe:           workload.Synthetic("probe", 25),
+		On:              workload.Synthetic("burst", 40),
+		Off:             workload.Synthetic("quiet", 0.01),
+		WindowBusCycles: 40_000,
+	}
+	if !jsonOut {
+		fmt.Printf("covert channel: %d-bit message, sender modulates memory intensity per window\n\n", len(message))
+	}
 	for _, k := range []sim.SchedulerKind{sim.Baseline, sim.FSRankPart} {
-		res, err := leakage.CovertChannel(k, 8, message, 40_000, seed)
+		run, err := leakage.RunChannel(k, message, leakage.ChannelParams{
+			Domains:         8,
+			Probe:           attack.Probe,
+			On:              attack.On,
+			Off:             attack.Off,
+			WindowBusCycles: attack.WindowBusCycles,
+			Seed:            seed,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+		if jsonOut {
+			frag := audit.FragmentFor(attack, run, audit.DefaultPermutations, seed)
+			b, err := audit.MarshalFragment(frag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			os.Stdout.Write(b)
+			continue
+		}
+		res := run.Result
 		fmt.Printf("%-16s bit error rate %.2f (%d/%d wrong)\n", res.Scheduler, res.BitErrorRate, res.Errors, res.Bits)
 	}
-	fmt.Println("\n0.00 = perfect covert channel; ~0.50 = receiver learns nothing")
+	if !jsonOut {
+		fmt.Println("\n0.00 = perfect covert channel; ~0.50 = receiver learns nothing")
+	}
 	return 0
 }

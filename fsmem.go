@@ -14,9 +14,10 @@
 //     with the constraint solver that derives each pipeline's minimal slot
 //     spacing from the timing parameters;
 //   - a full-system harness: ROB-modeled cores, synthetic SPEC-like
-//     workloads, a sandbox prefetcher, a DDR3 energy model, and leakage
+//     workloads, a sandbox prefetcher, a DDR3 energy model, leakage
 //     measurement (execution-profile divergence, mutual information, covert
-//     channels).
+//     channels), and an adversarial leakage auditor that searches an attack
+//     library and emits machine-readable certificates (Audit).
 //
 // Quick start:
 //
@@ -33,6 +34,7 @@ import (
 	"io"
 
 	"fsmem/internal/addr"
+	"fsmem/internal/audit"
 	"fsmem/internal/core"
 	"fsmem/internal/dram"
 	"fsmem/internal/energy"
@@ -257,6 +259,48 @@ func CollectLeakageProfile(k SchedulerKind, attacker, coRunner Profile, domains 
 
 // ProfilesIdentical reports strict non-interference between two profiles.
 func ProfilesIdentical(a, b LeakageProfile) bool { return leakage.Identical(a, b) }
+
+// AuditOptions configures the adversarial leakage audit: campaign size,
+// adaptive-search depth, certification seeds, permutation rounds, worker
+// pool width, and an optional fault plan for anti-vacuity checks. The
+// zero value selects the standard campaign.
+type AuditOptions = audit.Options
+
+// AuditVerdict classifies a finished audit: SECURE (no attack in the
+// library or search neighborhood distinguishes sender bits), LEAKY (some
+// attack decodes, or the observables are statistically distinguishable),
+// or FAIL (the runtime monitor saw violations, so nothing can be
+// certified).
+type AuditVerdict = audit.Verdict
+
+// The audit verdicts.
+const (
+	AuditSecure = audit.VerdictSecure
+	AuditLeaky  = audit.VerdictLeaky
+	AuditFail   = audit.VerdictFail
+)
+
+// LeakageCertificate is the audit's machine-readable output: verdict,
+// best attack strategy and parameters, bias-corrected mutual information
+// and KS statistics with permutation-test p-values, channel capacity in
+// bits per second, and the seeds that make the document reproducible.
+type LeakageCertificate = audit.LeakageCertificate
+
+// Audit throws the adversarial strategy library plus an adaptive search
+// loop at a scheduler and certifies the best attack found across
+// independent seeds. Certificates are byte-identical for every
+// AuditOptions.Workers value (also when served by the fsmemd "audit"
+// job kind).
+func Audit(ctx context.Context, k SchedulerKind, o AuditOptions) (*LeakageCertificate, error) {
+	return audit.Run(ctx, k, o)
+}
+
+// MarshalLeakageCertificate renders a certificate in the canonical
+// newline-terminated single-line JSON encoding the byte-identity
+// guarantees are stated over.
+func MarshalLeakageCertificate(c *LeakageCertificate) ([]byte, error) {
+	return audit.MarshalCertificate(c)
+}
 
 // EnergyModel is the Micron-style DDR3 energy model.
 type EnergyModel = energy.Model

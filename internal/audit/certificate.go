@@ -1,0 +1,150 @@
+// The leakage certificate: the audit engine's machine-readable output.
+// A certificate is a plain JSON document whose byte encoding is a pure
+// function of the audited scheduler and the audit options — independent of
+// worker count, wall-clock, and whether it was produced directly or
+// through the daemon — so it can be cached content-addressed, diffed in
+// CI, and re-verified anywhere.
+package audit
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// Verdict is the certificate's overall security conclusion.
+type Verdict string
+
+const (
+	// VerdictSecure: the best attack found decodes nothing (BER within
+	// 0.5 ± the BER margin) and neither the MI nor the KS permutation
+	// test rejects the identical-distributions null at α = 0.05.
+	VerdictSecure Verdict = "SECURE"
+	// VerdictLeaky: at least one attack strategy extracts information —
+	// the channel decodes, or a calibrated test rejects the null.
+	VerdictLeaky Verdict = "LEAKY"
+	// VerdictFail: the runtime monitor observed violations while the
+	// campaign ran, so the non-interference premises did not hold and
+	// nothing can be certified. A fault-injected FS run must land here.
+	VerdictFail Verdict = "FAIL"
+)
+
+// Thresholds for the verdict. Alpha applies to both permutation tests;
+// BERMargin is how far from coin-flipping the best attack may decode
+// before the channel counts as real.
+const (
+	Alpha     = 0.05
+	BERMargin = 0.05
+)
+
+// StatBlock is the certification statistics over the pooled multi-seed
+// observables of one attack.
+type StatBlock struct {
+	// BitErrorRate is the mean polarity-calibrated decoded BER across
+	// certification seeds, in [0, 0.5]; 0.5 means the receiver learned
+	// nothing and 0 means every bit decoded.
+	BitErrorRate float64 `json:"bit_error_rate"`
+	// MIBits is the Miller–Madow bias-corrected mutual information
+	// between the sent bit and the receiver observable, in bits.
+	MIBits float64 `json:"mi_bits"`
+	// MIPValue and KSPValue are permutation-test p-values for the MI and
+	// KS statistics under the identical-distributions null.
+	MIPValue float64 `json:"mi_p_value"`
+	// KSStat is the two-sample Kolmogorov–Smirnov statistic.
+	KSStat   float64 `json:"ks_stat"`
+	KSPValue float64 `json:"ks_p_value"`
+}
+
+// AttackOutcome summarizes one explored attack for the certificate's
+// campaign log.
+type AttackOutcome struct {
+	Name         string  `json:"name"`
+	BitErrorRate float64 `json:"bit_error_rate"`
+	// Exploit is |BER - 0.5|: distance from coin-flipping, the score the
+	// adaptive search maximizes.
+	Exploit float64 `json:"exploit"`
+}
+
+// LeakageCertificate is the audit verdict for one scheduler.
+type LeakageCertificate struct {
+	Version   int     `json:"version"`
+	Scheduler string  `json:"scheduler"`
+	Verdict   Verdict `json:"verdict"`
+
+	Domains      int      `json:"domains"`
+	Bits         int      `json:"bits"`
+	Seed         uint64   `json:"seed"`
+	CertifySeeds []uint64 `json:"certify_seeds"`
+	Permutations int      `json:"permutations"`
+	SearchRounds int      `json:"search_rounds"`
+
+	// Fault names the injected fault plan, empty for a clean audit.
+	Fault     string `json:"fault,omitempty"`
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+
+	// MonitorViolations counts runtime-monitor verdicts (timing, schedule,
+	// scheduler) summed over every window of every evaluation in the
+	// campaign. Nonzero forces VerdictFail.
+	MonitorViolations int `json:"monitor_violations"`
+
+	// BestAttack is the strategy with the highest exploit score; Stats
+	// certifies it over the multi-seed campaign.
+	BestAttack Attack    `json:"best_attack"`
+	Stats      StatBlock `json:"stats"`
+
+	// CapacityBitsPerSec bounds the channel rate of the best surviving
+	// attack: (1 - H2(BER)) bits per window at BusHz bus cycles/second.
+	CapacityBitsPerSec float64 `json:"capacity_bits_per_sec"`
+	BusHz              float64 `json:"bus_hz"`
+
+	// Attacks logs every strategy the campaign evaluated, best first.
+	Attacks []AttackOutcome `json:"attacks"`
+}
+
+// Fragment is the single-strategy certificate fragment `cmd/leakage -json`
+// emits: the same Attack and StatBlock schema as a full certificate,
+// without the campaign search.
+type Fragment struct {
+	Scheduler         string    `json:"scheduler"`
+	Attack            Attack    `json:"attack"`
+	Stats             StatBlock `json:"stats"`
+	MonitorViolations int       `json:"monitor_violations"`
+}
+
+// MarshalCertificate renders the canonical byte encoding of a
+// certificate: compact JSON plus a trailing newline — the exact bytes the
+// daemon stores and serves, so direct and daemon-served audits diff clean.
+func MarshalCertificate(c *LeakageCertificate) ([]byte, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// MarshalFragment renders a fragment in the same canonical form.
+func MarshalFragment(f Fragment) ([]byte, error) {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// binaryEntropy is H2(p) in bits, with H2(0) = H2(1) = 0.
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Capacity converts a decoded bit-error rate into a bits-per-second
+// channel bound: the BSC capacity 1 - H2(BER) per window, at busHz bus
+// cycles per second. A BER of exactly 0.5 is a zero-capacity channel.
+func Capacity(ber float64, windowBusCycles int64, busHz float64) float64 {
+	if windowBusCycles <= 0 || busHz <= 0 {
+		return 0
+	}
+	p := math.Min(ber, 1-ber)
+	return (1 - binaryEntropy(p)) * busHz / float64(windowBusCycles)
+}

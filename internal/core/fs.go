@@ -247,9 +247,9 @@ func NewFS(p dram.Params, cfg Config) (*FS, error) {
 	}
 	f.refreshEnabled = cfg.RefreshEnabled
 	if cfg.Variant == FSNoPartTriple && len(f.slotDomains)%3 == 0 {
-		// With a slot count divisible by 3 the bank-group rotation would
-		// collide across subinterval boundaries (the last and first slots
-		// would share a group at 15-cycle spacing).
+		// With a slot count divisible by 3 the slot-indexed bank-group
+		// rotation assigns every one of a domain's slots the same group
+		// forever, cutting it off from two thirds of its address space.
 		return nil, fmt.Errorf("core: triple alternation requires a slot count not divisible by 3, got %d", len(f.slotDomains))
 	}
 	l := cfg.L
@@ -447,20 +447,23 @@ func (f *FS) slotDomain(s int64) int {
 
 // slotBankGroup returns the allowed bank group (bank mod 3) for the slot
 // under triple alternation, or -1 when unrestricted. The rotation is keyed
-// to the slot position (not the domain id) so consecutive slots are always
-// bank-disjoint even under weighted SLAs.
+// to the global slot index (not the domain id or the position within a
+// subinterval) so any two slots sharing a group are exactly 3 apart —
+// 3l >= the same-bank write-recovery turnaround, for EVERY legal slot
+// count. Keying to (position - subinterval) instead collides at distance 2
+// across subinterval boundaries when slots % 3 == 1 (e.g. 4 domains: slots
+// 3 and 5 both land in group 0, 30 cycles apart < the 43-cycle write
+// recovery), which lets one domain's write make another domain's
+// transaction ineligible — a timing channel the leakage audit catches.
+// For slots % 3 == 2 (the paper's 8 domains) the two keyings are
+// identical. A domain's group still advances by (slots mod 3) != 0 every
+// turn, so each domain reaches all three groups; slots % 3 == 0 is
+// rejected at construction.
 func (f *FS) slotBankGroup(s int64) int {
 	if f.variant != FSNoPartTriple {
 		return -1
 	}
-	slots := int64(len(f.slotDomains))
-	pos := s % slots
-	sub := (s / slots) % 3
-	g := (pos - sub) % 3
-	if g < 0 {
-		g += 3
-	}
-	return int(g)
+	return int(s % 3)
 }
 
 // planSlot selects and schedules one transaction for the slot-grid

@@ -163,6 +163,43 @@ func TestTripleAlternationGroups(t *testing.T) {
 	}
 }
 
+// TestTripleAlternationGroupSpacing pins the non-interference premise of
+// triple alternation for EVERY legal slot count: two slots sharing a bank
+// group are at least 3 apart (3l covers the same-bank write-recovery
+// turnaround), and every domain still reaches all three groups. The
+// previous (position - subinterval) keying collided at distance 2 across
+// subinterval boundaries when slots % 3 == 1 — e.g. 4 domains — letting
+// one domain's write delay another domain's transaction: a timing channel.
+func TestTripleAlternationGroupSpacing(t *testing.T) {
+	for _, domains := range []int{2, 4, 5, 7, 8} {
+		fs, err := NewFS(paperParams(), Config{Variant: FSNoPartTriple, Domains: domains, Seed: 1})
+		if err != nil {
+			t.Fatalf("domains=%d: %v", domains, err)
+		}
+		horizon := int64(3 * domains * 6)
+		last := map[int]int64{0: -3, 1: -3, 2: -3}
+		for s := int64(0); s < horizon; s++ {
+			g := fs.slotBankGroup(s)
+			if g < 0 || g > 2 {
+				t.Fatalf("domains=%d slot %d: group %d out of range", domains, s, g)
+			}
+			if d := s - last[g]; d < 3 {
+				t.Fatalf("domains=%d: slots %d and %d share group %d at distance %d", domains, last[g], s, g, d)
+			}
+			last[g] = s
+		}
+		for d := 0; d < domains; d++ {
+			seen := map[int]bool{}
+			for turn := int64(0); turn < 3; turn++ {
+				seen[fs.slotBankGroup(turn*int64(domains)+int64(d))] = true
+			}
+			if len(seen) != 3 {
+				t.Errorf("domains=%d: domain %d saw groups %v, want all three", domains, d, seen)
+			}
+		}
+	}
+}
+
 // TestTripleAlternationCommandsRespectGroups re-runs the engine and checks
 // every issued transaction lands in its slot's bank group.
 func TestTripleAlternationCommandsRespectGroups(t *testing.T) {

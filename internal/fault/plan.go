@@ -204,3 +204,16 @@ func CampaignPlans(domains int, seed uint64) []*Plan {
 		},
 	}
 }
+
+// PlanByName resolves one plan from the standard campaign by its name —
+// the lookup the audit engine and the daemon's audit job kind use to turn
+// a wire-level fault-plan string into the same deterministic Plan the
+// chaos campaign would run.
+func PlanByName(name string, domains int, seed uint64) (*Plan, bool) {
+	for _, p := range CampaignPlans(domains, seed) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}

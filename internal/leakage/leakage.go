@@ -8,7 +8,10 @@ package leakage
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"fsmem/internal/fault"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/sim"
 	"fsmem/internal/workload"
 )
@@ -182,8 +185,8 @@ func KolmogorovSmirnov(class0, class1 []float64) float64 {
 	}
 	s0 := append([]float64(nil), class0...)
 	s1 := append([]float64(nil), class1...)
-	insertionSort(s0)
-	insertionSort(s1)
+	sort.Float64s(s0)
+	sort.Float64s(s1)
 	var i, j int
 	var d float64
 	for i < len(s0) && j < len(s1) {
@@ -208,14 +211,6 @@ func KolmogorovSmirnov(class0, class1 []float64) float64 {
 	return d
 }
 
-func insertionSort(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
 // CovertResult summarizes a covert-channel attempt.
 type CovertResult struct {
 	Scheduler string
@@ -229,48 +224,95 @@ type CovertResult struct {
 	BitErrorRate float64
 }
 
-// CovertChannel runs the §2.2-style covert channel: a sender domain
-// modulates its memory intensity per window (burst = 1, idle = 0) while a
-// receiver times its own fixed access loop per window and thresholds
-// against the median. Under the baseline the receiver decodes the message;
-// under FS the bit error rate collapses to chance.
-func CovertChannel(k sim.SchedulerKind, domains int, message []bool, windowBusCycles int64, seed uint64) (CovertResult, error) {
-	// Sender: domain 1 alternates between a heavy streaming profile and
-	// idling. Receiver: domain 0 runs a steady probe load. Implemented by
-	// running one simulation per window so the sender's behavior is a
-	// per-window choice, exactly like a sender flipping load phases.
-	probe := workload.Synthetic("probe", 25)
-	heavy := workload.Synthetic("burst", 40)
-	idle := workload.Synthetic("quiet", 0.01)
+// ChannelParams fully parameterizes one covert-channel attempt: the
+// receiver's probe workload, the sender's per-bit profiles, the
+// per-window observation length, and an optional fault plan injected
+// into every window (the audit engine's anti-vacuity hook).
+type ChannelParams struct {
+	// Domains is the number of security domains; domain 0 is the
+	// receiver, every other domain runs the sender profile.
+	Domains int
+	// Probe is the receiver's steady load; On and Off are the sender's
+	// profiles for a 1 and a 0 bit respectively.
+	Probe, On, Off workload.Profile
+	// WindowBusCycles is the fixed per-bit observation window.
+	WindowBusCycles int64
+	// Seed is the simulation seed, identical for every window so the
+	// sender's behavior is the only varying input.
+	Seed uint64
+	// Fault, when non-nil, runs every window under the given fault plan;
+	// the summed monitor verdicts surface in ChannelRun.
+	Fault *fault.Plan
+}
 
-	durations := make([]float64, len(message))
+// ChannelRun is a decoded covert-channel attempt plus the raw per-window
+// observables the statistical certification runs on.
+type ChannelRun struct {
+	Result CovertResult
+	// Durations holds the receiver's observable per window (instructions
+	// retired in the fixed window), aligned with the message.
+	Durations []float64
+	// Class0 and Class1 split Durations by the bit the sender transmitted.
+	Class0, Class1 []float64
+	// MonitorViolations sums the always-on runtime monitor's verdicts
+	// (timing + schedule + scheduler violations) across every window. A
+	// nonzero count means the runs cannot certify anything: the premises
+	// of the non-interference argument did not hold while measuring.
+	MonitorViolations int
+}
+
+// RunChannel runs the parameterized covert channel: domain 0 times a fixed
+// probe loop per window while every other domain replays the On profile
+// for a 1 bit and the Off profile for a 0 bit; the receiver thresholds its
+// window observable halfway between the fastest and slowest windows (the
+// calibration a real attacker would do). One simulation per window, all
+// with the same seed, so the sender's modulation is the only varying
+// input — exactly a sender flipping load phases.
+func RunChannel(k sim.SchedulerKind, message []bool, p ChannelParams) (ChannelRun, error) {
+	if p.WindowBusCycles <= 0 {
+		return ChannelRun{}, fsmerr.New(fsmerr.CodeConfig, "leakage.RunChannel",
+			"window must be positive, got %d bus cycles", p.WindowBusCycles)
+	}
+	if p.Domains < 2 {
+		return ChannelRun{}, fsmerr.New(fsmerr.CodeConfig, "leakage.RunChannel",
+			"covert channel needs a receiver and at least one sender domain, got %d", p.Domains)
+	}
+	if len(message) == 0 {
+		return ChannelRun{}, fsmerr.New(fsmerr.CodeConfig, "leakage.RunChannel", "empty message")
+	}
+
+	run := ChannelRun{Durations: make([]float64, len(message))}
 	for i, bit := range message {
-		victim := idle
+		victim := p.Off
 		if bit {
-			victim = heavy
+			victim = p.On
 		}
-		mix := workload.Mix{Name: "covert", Profiles: make([]workload.Profile, domains)}
-		mix.Profiles[0] = probe
-		for d := 1; d < domains; d++ {
+		mix := workload.Mix{Name: "covert", Profiles: make([]workload.Profile, p.Domains)}
+		mix.Profiles[0] = p.Probe
+		for d := 1; d < p.Domains; d++ {
 			mix.Profiles[d] = victim
 		}
 		cfg := sim.DefaultConfig(mix, k)
-		cfg.Seed = seed // same seed per window: the only varying input is the sender's behavior
+		cfg.Seed = p.Seed
 		cfg.TargetReads = 0
-		cfg.MaxBusCycles = windowBusCycles
+		cfg.MaxBusCycles = p.WindowBusCycles
+		cfg.Fault = p.Fault
 		res, err := sim.Simulate(cfg)
 		if err != nil {
-			return CovertResult{}, err
+			return ChannelRun{}, err
 		}
 		// Receiver observable: its own progress in the fixed window.
-		durations[i] = float64(res.Run.Domains[0].Instructions)
+		run.Durations[i] = float64(res.Run.Domains[0].Instructions)
+		if m := res.Monitor; m != nil {
+			run.MonitorViolations += m.TimingViolations + m.ScheduleViolations + m.SchedulerViolations
+		}
 	}
 
-	// Threshold halfway between the fastest and slowest windows (the
-	// attacker would calibrate the two levels the same way). A degenerate
-	// spread means the channel carried nothing; everything decodes to 0.
-	min, max := durations[0], durations[0]
-	for _, d := range durations {
+	// Threshold halfway between the fastest and slowest windows. A
+	// degenerate spread means the channel carried nothing; everything
+	// decodes to 0.
+	min, max := run.Durations[0], run.Durations[0]
+	for _, d := range run.Durations {
 		if d < min {
 			min = d
 		}
@@ -282,17 +324,43 @@ func CovertChannel(k sim.SchedulerKind, domains int, message []bool, windowBusCy
 	errors := 0
 	decoded := make([]bool, len(message))
 	for i, bit := range message {
-		rx := max > min && durations[i] < thr // contention slows the receiver
+		rx := max > min && run.Durations[i] < thr // contention slows the receiver
 		decoded[i] = rx
 		if rx != bit {
 			errors++
 		}
+		if bit {
+			run.Class1 = append(run.Class1, run.Durations[i])
+		} else {
+			run.Class0 = append(run.Class0, run.Durations[i])
+		}
 	}
-	return CovertResult{
+	run.Result = CovertResult{
 		Scheduler:    k.String(),
 		Bits:         len(message),
 		Errors:       errors,
 		Decoded:      decoded,
 		BitErrorRate: float64(errors) / float64(len(message)),
-	}, nil
+	}
+	return run, nil
+}
+
+// CovertChannel runs the §2.2-style covert channel with the classic
+// burst/idle sender and a fixed probe receiver: the single strategy the
+// evaluation always reports. The audit engine generalizes it through
+// RunChannel with a whole strategy library. A non-positive window is a
+// CodeConfig error rather than a silent zero-window run.
+func CovertChannel(k sim.SchedulerKind, domains int, message []bool, windowBusCycles int64, seed uint64) (CovertResult, error) {
+	run, err := RunChannel(k, message, ChannelParams{
+		Domains:         domains,
+		Probe:           workload.Synthetic("probe", 25),
+		On:              workload.Synthetic("burst", 40),
+		Off:             workload.Synthetic("quiet", 0.01),
+		WindowBusCycles: windowBusCycles,
+		Seed:            seed,
+	})
+	if err != nil {
+		return CovertResult{}, err
+	}
+	return run.Result, nil
 }

@@ -1,0 +1,170 @@
+package leakage
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"fsmem/internal/fsmerr"
+	"fsmem/internal/trace"
+)
+
+func ksStat(a, b []float64) float64 { return KolmogorovSmirnov(a, b) }
+
+func miStat(a, b []float64) float64 { return MutualInformationBits(a, b, 16) }
+
+// gaussianish draws n deterministic samples from a fixed unimodal
+// distribution (sum of uniforms), shifted by loc.
+func gaussianish(rng *trace.RNG, n int, loc float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		s := 0.0
+		for k := 0; k < 4; k++ {
+			s += rng.Float64()
+		}
+		out[i] = loc + s
+	}
+	return out
+}
+
+// Under the same-distribution null, permutation p-values must be
+// (roughly) uniform on (0, 1]: that is the whole point of calibrating
+// "zero leakage" instead of eyeballing a point estimate. Everything is
+// seeded, so the assertions are exact, not flaky.
+func TestPermutationPValueCalibratedUnderNull(t *testing.T) {
+	for name, stat := range map[string]Statistic{"ks": ksStat, "mi": miStat} {
+		rng := trace.NewRNG(0xca11b)
+		const datasets = 60
+		var ps []float64
+		for d := 0; d < datasets; d++ {
+			c0 := gaussianish(rng, 40, 0)
+			c1 := gaussianish(rng, 40, 0) // same distribution: the null holds
+			ps = append(ps, PermutationPValue(c0, c1, stat, 99, uint64(d)*7+1))
+		}
+		sort.Float64s(ps)
+		// Kolmogorov distance between the empirical p-value distribution
+		// and uniform(0,1]. The bound is looser than the n=60 critical
+		// value (~0.21) because with 99 rounds the p-values live on a
+		// 1/100 lattice and tie-heavy statistics lump them; a genuinely
+		// miscalibrated test (p clustered near 0) scores far higher.
+		var dmax float64
+		for i, p := range ps {
+			lo := math.Abs(p - float64(i)/datasets)
+			hi := math.Abs(p - float64(i+1)/datasets)
+			dmax = math.Max(dmax, math.Max(lo, hi))
+		}
+		if dmax > 0.27 {
+			t.Errorf("%s: null p-values not uniform: KS distance %.3f (p-values %v...)", name, dmax, ps[:5])
+		}
+		// Validity is the property certificates rely on: under the null,
+		// P(p <= 0.05) must not exceed ~0.05. Allow binomial noise on 60
+		// datasets (3 expected; 8 is > 2 sigma above).
+		reject := 0
+		for _, p := range ps {
+			if p <= 0.05 {
+				reject++
+			}
+		}
+		if reject > 8 {
+			t.Errorf("%s: %d/%d null datasets rejected at alpha=0.05, want ~3", name, reject, datasets)
+		}
+		mean := 0.0
+		for _, p := range ps {
+			mean += p
+		}
+		mean /= datasets
+		if mean < 0.35 || mean > 0.65 {
+			t.Errorf("%s: null p-values have mean %.3f, want ~0.5", name, mean)
+		}
+	}
+}
+
+// A genuinely shifted alternative must be detected with the smallest
+// reachable p-value.
+func TestPermutationPValueDetectsShift(t *testing.T) {
+	rng := trace.NewRNG(0x5eed)
+	c0 := gaussianish(rng, 50, 0)
+	c1 := gaussianish(rng, 50, 5) // disjoint supports
+	p := PermutationPValue(c0, c1, ksStat, 199, 3)
+	if want := 1.0 / 200; p != want {
+		t.Fatalf("shifted alternative: p = %v, want %v", p, want)
+	}
+}
+
+// Identical observations mean a provably silent channel: p must be
+// exactly 1, never "significant".
+func TestPermutationPValueSilentChannel(t *testing.T) {
+	c0 := []float64{7, 7, 7, 7}
+	c1 := []float64{7, 7, 7, 7}
+	if p := PermutationPValue(c0, c1, ksStat, 100, 9); p != 1 {
+		t.Fatalf("silent channel: p = %v, want 1", p)
+	}
+}
+
+func TestPermutationPValueDeterministic(t *testing.T) {
+	rng := trace.NewRNG(11)
+	c0 := gaussianish(rng, 30, 0)
+	c1 := gaussianish(rng, 30, 0.5)
+	a := PermutationPValue(c0, c1, ksStat, 99, 42)
+	b := PermutationPValue(c0, c1, ksStat, 99, 42)
+	if a != b {
+		t.Fatalf("same seed, different p: %v vs %v", a, b)
+	}
+	c := PermutationPValue(c0, c1, ksStat, 99, 43)
+	if a == c {
+		t.Log("different seeds gave the same p (possible, but worth a look)")
+	}
+}
+
+// Miller–Madow must correct the plug-in estimator toward zero on null
+// data (the plug-in's upward bias is the artifact being removed) and
+// never exceed it.
+func TestMillerMadowShrinksPlugIn(t *testing.T) {
+	rng := trace.NewRNG(0xbead)
+	for i := 0; i < 10; i++ {
+		c0 := gaussianish(rng, 40, 0)
+		c1 := gaussianish(rng, 40, 0)
+		plug := MutualInformationBits(c0, c1, 16)
+		mm := MutualInformationMillerMadow(c0, c1, 16)
+		if mm > plug+1e-12 {
+			t.Fatalf("dataset %d: Miller–Madow %v exceeds plug-in %v", i, mm, plug)
+		}
+		if mm < 0 {
+			t.Fatalf("dataset %d: negative corrected MI %v", i, mm)
+		}
+	}
+}
+
+// On a strong alternative the correction must not destroy the signal.
+func TestMillerMadowKeepsRealSignal(t *testing.T) {
+	rng := trace.NewRNG(0xfeed)
+	c0 := gaussianish(rng, 200, 0)
+	c1 := gaussianish(rng, 200, 10)
+	mm := MutualInformationMillerMadow(c0, c1, 16)
+	if mm < 0.8 {
+		t.Fatalf("disjoint classes: corrected MI %v, want ~1 bit", mm)
+	}
+	if c0[0] == c1[0] {
+		t.Fatal("test data degenerate")
+	}
+}
+
+func TestMillerMadowSilent(t *testing.T) {
+	if mm := MutualInformationMillerMadow([]float64{3, 3}, []float64{3, 3}, 16); mm != 0 {
+		t.Fatalf("silent channel: corrected MI %v, want 0", mm)
+	}
+}
+
+// The CovertChannel wrapper must reject a non-positive window with a
+// typed config error instead of silently running zero windows.
+func TestCovertChannelRejectsBadWindow(t *testing.T) {
+	for _, w := range []int64{0, -5} {
+		_, err := CovertChannel(0, 4, []bool{true, false}, w, 1)
+		if err == nil {
+			t.Fatalf("window %d: no error", w)
+		}
+		if code := fsmerr.CodeOf(err); code != fsmerr.CodeConfig {
+			t.Fatalf("window %d: error code %q, want %q (%v)", w, code, fsmerr.CodeConfig, err)
+		}
+	}
+}

@@ -1,8 +1,8 @@
 // Package server is the simulation-as-a-service layer: an HTTP/JSON
 // daemon (cmd/fsmemd) that accepts simulation, figure-grid,
-// leakage-profile, and fault-campaign jobs, executes them on the
-// internal/parallel worker pool, and serves results from a persistent
-// content-addressed LRU cache.
+// leakage-profile, fault-campaign, and leakage-audit jobs, executes
+// them on the internal/parallel worker pool, and serves results from a
+// persistent content-addressed LRU cache.
 //
 // Design (DESIGN.md §10):
 //
@@ -31,9 +31,11 @@ import (
 	"sort"
 	"strings"
 
+	"fsmem/internal/audit"
 	"fsmem/internal/config"
 	"fsmem/internal/energy"
 	"fsmem/internal/experiments"
+	"fsmem/internal/fault"
 	"fsmem/internal/obs"
 	"fsmem/internal/sim"
 )
@@ -54,6 +56,9 @@ const (
 	KindLeakage JobKind = "leakage"
 	// KindChaos runs the standard fault-injection campaign.
 	KindChaos JobKind = "chaos"
+	// KindAudit runs the adversarial leakage audit and returns the
+	// scheduler's LeakageCertificate.
+	KindAudit JobKind = "audit"
 )
 
 // Job priorities.
@@ -79,6 +84,7 @@ type JobRequest struct {
 	Figures  *FiguresRequest    `json:"figures,omitempty"`
 	Leakage  *LeakageRequest    `json:"leakage,omitempty"`
 	Chaos    *ChaosRequest      `json:"chaos,omitempty"`
+	Audit    *AuditRequest      `json:"audit,omitempty"`
 }
 
 // FiguresRequest asks for evaluation figures at a given scale.
@@ -109,6 +115,23 @@ type ChaosRequest struct {
 	Cores     int    `json:"cores,omitempty"`    // default 4
 	Seed      uint64 `json:"seed,omitempty"`     // fault-plan seed, default 7
 	Cycles    int64  `json:"cycles,omitempty"`   // fixed run length (0 = standard)
+}
+
+// AuditRequest asks for an adversarial leakage audit of one scheduler.
+// Zero values take the audit engine's defaults; every field is part of
+// the content key, so two requests differing only in spelled-out
+// defaults still address the same job.
+type AuditRequest struct {
+	Scheduler    string `json:"scheduler"`              // config scheduler name, required
+	Cores        int    `json:"cores,omitempty"`        // security domains, default 4
+	Bits         int    `json:"bits,omitempty"`         // message length, default 16
+	Window       int64  `json:"window,omitempty"`       // base window in bus cycles, default 10000
+	Seeds        int    `json:"seeds,omitempty"`        // certification seeds, default 3
+	Permutations int    `json:"permutations,omitempty"` // permutation-test rounds, default 199
+	Rounds       int    `json:"rounds,omitempty"`       // adaptive search rounds, default 2
+	Seed         uint64 `json:"seed,omitempty"`         // campaign seed, default 42
+	Fault        string `json:"fault,omitempty"`        // fault plan name (anti-vacuity), default none
+	FaultSeed    uint64 `json:"fault_seed,omitempty"`   // fault plan seed, default 7
 }
 
 // JobState is a job's lifecycle phase.
@@ -311,7 +334,7 @@ func (r *JobRequest) normalize() (string, error) {
 		return "", fmt.Errorf("observe is only supported on %q jobs", KindSimulate)
 	}
 	set := 0
-	for _, ok := range []bool{r.Simulate != nil, r.Figures != nil, r.Leakage != nil, r.Chaos != nil} {
+	for _, ok := range []bool{r.Simulate != nil, r.Figures != nil, r.Leakage != nil, r.Chaos != nil, r.Audit != nil} {
 		if ok {
 			set++
 		}
@@ -411,9 +434,54 @@ func (r *JobRequest) normalize() (string, error) {
 		}
 		return fmt.Sprintf("chaos|sched=%s|workload=%s|cores=%d|seed=%d|cycles=%d",
 			c.Scheduler, c.Workload, c.Cores, c.Seed, c.Cycles), nil
+	case KindAudit:
+		a := r.Audit
+		if a == nil {
+			return "", fmt.Errorf("%q job needs an audit payload", r.Kind)
+		}
+		if a.Cores == 0 {
+			a.Cores = audit.DefaultDomains
+		}
+		if a.Bits == 0 {
+			a.Bits = audit.DefaultBits
+		}
+		a.Bits += a.Bits % 2 // the engine rounds up to even; bake it into the key
+		if a.Window == 0 {
+			a.Window = audit.DefaultWindow
+		}
+		if a.Seeds == 0 {
+			a.Seeds = audit.DefaultSeeds
+		}
+		if a.Permutations == 0 {
+			a.Permutations = audit.DefaultPermutations
+		}
+		if a.Rounds == 0 {
+			a.Rounds = audit.DefaultRounds
+		}
+		if a.Seed == 0 {
+			a.Seed = 42
+		}
+		// A fault seed only means something alongside a fault plan; zero it
+		// otherwise so requests differing only in a dangling seed address
+		// the same job (and the certificate omits it, like a direct run).
+		if a.Fault == "" {
+			a.FaultSeed = 0
+		} else if a.FaultSeed == 0 {
+			a.FaultSeed = 7
+		}
+		if _, err := schedulerByName(a.Scheduler); err != nil {
+			return "", err
+		}
+		if a.Fault != "" {
+			if _, ok := fault.PlanByName(a.Fault, a.Cores, a.FaultSeed); !ok {
+				return "", fmt.Errorf("unknown fault plan %q", a.Fault)
+			}
+		}
+		return fmt.Sprintf("audit|sched=%s|cores=%d|bits=%d|window=%d|seeds=%d|perms=%d|rounds=%d|seed=%d|fault=%s|faultseed=%d",
+			a.Scheduler, a.Cores, a.Bits, a.Window, a.Seeds, a.Permutations, a.Rounds, a.Seed, a.Fault, a.FaultSeed), nil
 	default:
-		return "", fmt.Errorf("unknown job kind %q (options: %s, %s, %s, %s)",
-			r.Kind, KindSimulate, KindFigures, KindLeakage, KindChaos)
+		return "", fmt.Errorf("unknown job kind %q (options: %s, %s, %s, %s, %s)",
+			r.Kind, KindSimulate, KindFigures, KindLeakage, KindChaos, KindAudit)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"fsmem/internal/audit"
 	"fsmem/internal/experiments"
 	"fsmem/internal/fault"
 	"fsmem/internal/fsmerr"
@@ -124,6 +125,8 @@ func (m *Manager) run(ctx context.Context, j *Job) (*cacheEntry, error) {
 		return m.runLeakage(ctx, j)
 	case KindChaos:
 		return m.runChaos(ctx, j)
+	case KindAudit:
+		return m.runAudit(ctx, j)
 	default:
 		return nil, fsmerr.New(fsmerr.CodeConfig, "server.run", "unknown job kind %q", j.Req.Kind)
 	}
@@ -274,6 +277,44 @@ func (m *Manager) runLeakage(ctx context.Context, j *Job) (*cacheEntry, error) {
 	b, err := marshalResult(out)
 	if err != nil {
 		return nil, fsmerr.Wrap(fsmerr.CodeExperiment, "server.leakage", err)
+	}
+	return &cacheEntry{key: j.Key, result: b}, nil
+}
+
+func (m *Manager) runAudit(ctx context.Context, j *Job) (*cacheEntry, error) {
+	req := j.Req.Audit
+	k, err := schedulerByName(req.Scheduler)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeConfig, "server.audit", err)
+	}
+	cert, err := audit.Run(ctx, k, audit.Options{
+		Domains:         req.Cores,
+		Bits:            req.Bits,
+		WindowBusCycles: req.Window,
+		Seed:            req.Seed,
+		Seeds:           req.Seeds,
+		Permutations:    req.Permutations,
+		Rounds:          req.Rounds,
+		Workers:         m.gridShards,
+		FaultPlan:       req.Fault,
+		FaultSeed:       req.FaultSeed,
+		Metrics:         &m.auditMetrics,
+		Progress: func(stage string, done, total int) {
+			// Campaign totals grow per stage; report the stage-local count
+			// and leave the job total open like the figure grid does.
+			j.progressDone.Store(int64(done))
+			j.events.publish(JobEvent{Phase: "progress", Cell: "audit/" + stage, Done: done})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// audit.MarshalCertificate and marshalResult produce the same bytes;
+	// going through the shared helper keeps daemon-served certificates
+	// byte-identical to direct audit.Run output by construction.
+	b, err := audit.MarshalCertificate(cert)
+	if err != nil {
+		return nil, fsmerr.Wrap(fsmerr.CodeExperiment, "server.audit", err)
 	}
 	return &cacheEntry{key: j.Key, result: b}, nil
 }

@@ -339,3 +339,107 @@ func TestAPIFiguresJob(t *testing.T) {
 		t.Fatalf("figures result: %d tables, errors %v", len(out.Tables), out.Errors)
 	}
 }
+
+// TestAPIAuditJob pins the audit integration's determinism contract end
+// to end: the certificate the daemon serves is byte-identical to what a
+// direct fsmem.Audit caller computes, resubmission is a content-key
+// cache hit, and a fault-injected audit FAILS through the API too.
+func TestAPIAuditJob(t *testing.T) {
+	cl, _ := startServer(t, server.Options{Workers: 2, GridShards: 4})
+	ctx := context.Background()
+
+	req := server.JobRequest{
+		Kind: server.KindAudit,
+		Audit: &server.AuditRequest{
+			Scheduler:    "fs_np",
+			Cores:        4,
+			Bits:         8,
+			Seeds:        2,
+			Permutations: 49,
+			Rounds:       1,
+			Seed:         42,
+		},
+	}
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = cl.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("audit job state %s (%s)", st.State, st.Error)
+	}
+	got, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cert, err := fsmem.Audit(ctx, fsmem.FSNoPart, fsmem.AuditOptions{
+		Domains: 4, Bits: 8, Seeds: 2, Permutations: 49, Rounds: 1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fsmem.MarshalLeakageCertificate(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("daemon certificate differs from direct audit:\nserver: %s\ndirect: %s", got, want)
+	}
+	if cert.Verdict != fsmem.AuditSecure {
+		t.Fatalf("fs_np audit verdict %s, want SECURE", cert.Verdict)
+	}
+
+	// Identical request (with defaults spelled differently) hits the cache.
+	st2, err := cl.Submit(ctx, server.JobRequest{
+		Kind:  server.KindAudit,
+		Audit: &server.AuditRequest{Scheduler: "fs_np", Bits: 8, Seeds: 2, Permutations: 49, Rounds: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != st.ID {
+		t.Fatalf("equivalent audit request got a new job: %s vs %s", st2.ID, st.ID)
+	}
+	if !st2.State.Terminal() || !st2.CacheHit {
+		t.Fatalf("resubmission not a cache hit: %+v", st2)
+	}
+
+	// Anti-vacuity through the API: a fault-injected FS audit must FAIL.
+	st3, err := cl.Submit(ctx, server.JobRequest{
+		Kind: server.KindAudit,
+		Audit: &server.AuditRequest{
+			Scheduler: "fs_np", Bits: 8, Seeds: 2, Permutations: 49, Rounds: 1,
+			Fault: "derate-trcd",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3, err = cl.Wait(ctx, st3.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faulted fsmem.LeakageCertificate
+	if err := cl.ResultJSON(ctx, st3.ID, &faulted); err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Verdict != fsmem.AuditFail {
+		t.Fatalf("fault-injected audit verdict %s, want FAIL", faulted.Verdict)
+	}
+	if faulted.MonitorViolations == 0 {
+		t.Fatal("fault-injected audit reported zero monitor violations")
+	}
+
+	// The audit job surfaced its engine counters on /metrics.
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "fsmemd_audit_attacks_evaluated") {
+		t.Fatalf("audit metrics missing from /metrics:\n%s", metrics)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fsmem/internal/audit"
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/parallel"
 )
@@ -141,6 +142,10 @@ type Manager struct {
 	recoveredRequeued, recoveredServed               atomic.Int64
 	recoveredQuarantined, journalSkipped             atomic.Int64
 	storeErrors                                      atomic.Int64
+	// auditMetrics accumulates leakage-audit campaign counters across
+	// every audit job this manager executes, exposed under
+	// fsmemd.audit.* on /metrics.
+	auditMetrics audit.Metrics
 }
 
 // maxFinished bounds how many terminal job records stay addressable;

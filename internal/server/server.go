@@ -153,6 +153,7 @@ func (s *Server) buildMetrics() {
 		}
 		emit("draining", draining)
 	}))
+	r.Source("fsmemd.audit", &s.manager.auditMetrics)
 	s.registry = r
 }
 
