@@ -120,11 +120,11 @@ func BenchmarkFigure4Leakage(b *testing.B) {
 	var baseDiv, fsDiv float64
 	for i := 0; i < b.N; i++ {
 		for _, k := range []sim.SchedulerKind{sim.Baseline, sim.FSRankPart} {
-			quiet, err := leakage.CollectProfile(k, att, workload.Synthetic("idle", 0.01), 8, 10_000, 150_000, 42)
+			quiet, err := leakage.CollectProfile(k, att, workload.Synthetic("idle", 0.01), 8, 10_000, 150_000, 42, 1, addr.RouteColored)
 			if err != nil {
 				b.Fatal(err)
 			}
-			loud, err := leakage.CollectProfile(k, att, workload.Synthetic("streaming", 45), 8, 10_000, 150_000, 42)
+			loud, err := leakage.CollectProfile(k, att, workload.Synthetic("streaming", 45), 8, 10_000, 150_000, 42, 1, addr.RouteColored)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -263,6 +263,38 @@ func BenchmarkSimulateDenseXalanRate2(b *testing.B) { benchLoop(b, true) }
 // event-horizon kernel (DESIGN.md §13). CI gates
 // fast-forward ≤ 0.5 × dense on this pair.
 func BenchmarkSimulateFastForwardXalanRate2(b *testing.B) { benchLoop(b, false) }
+
+// benchFabric runs an 8-core workload through a 4-channel fabric under
+// the given routing policy — the multi-channel counterpart of
+// BenchmarkSimulatorThroughput. Colored routing is four independent
+// machines (near-linear speedup per channel); interleaved routing stripes
+// every domain over all channels and pays fabric-level contention.
+func benchFabric(b *testing.B, routing addr.Routing) {
+	mix, err := workload.Rate("milc", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(mix, sim.FSRankPart)
+		cfg.TargetReads = 5000
+		cfg.Channels = 4
+		cfg.Routing = routing
+		res, err := sim.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Run.BusCycles
+	}
+	b.ReportMetric(float64(cycles), "bus_cycles/run")
+}
+
+// BenchmarkSimulate4ChColored pins the page-colored 4-channel fabric.
+func BenchmarkSimulate4ChColored(b *testing.B) { benchFabric(b, addr.RouteColored) }
+
+// BenchmarkSimulate4ChInterleaved pins the address-interleaved 4-channel
+// fabric.
+func BenchmarkSimulate4ChInterleaved(b *testing.B) { benchFabric(b, addr.RouteInterleaved) }
 
 // benchObserved runs the BenchmarkSimulatorThroughput workload with the
 // given observability options (nil = tracing compiled in but disabled).

@@ -69,6 +69,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "base random seed")
 	faultName := flag.String("fault", "", "fault plan to inject (anti-vacuity check); see cmd/chaos for names")
 	faultSeed := flag.Uint64("faultseed", 7, "fault plan seed")
+	channels := flag.Int("channels", 1, "memory-fabric width to audit (1 = classic single channel)")
+	routing := flag.String("routing", "colored", "multi-channel routing: colored or interleaved")
 	expect := flag.String("expect", "", "exit 1 unless every verdict matches (secure|leaky|fail)")
 	workers := flag.Int("j", 0, "parallel campaign workers (0 = GOMAXPROCS); certificates are identical for every value")
 	verbose := flag.Bool("v", false, "log campaign progress to stderr")
@@ -78,6 +80,11 @@ func main() {
 	flag.Parse()
 
 	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "audit:", err)
+		os.Exit(2)
+	}
+	route, err := fsmem.RoutingByName(*routing)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
 		os.Exit(2)
@@ -93,6 +100,8 @@ func main() {
 		Workers:         *workers,
 		FaultPlan:       *faultName,
 		FaultSeed:       *faultSeed,
+		Channels:        *channels,
+		Routing:         route,
 	}
 	if *verbose {
 		o.Progress = func(stage string, done, total int) {

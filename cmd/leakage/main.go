@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"fsmem"
+	"fsmem/internal/addr"
 	"fsmem/internal/audit"
 	"fsmem/internal/leakage"
 	"fsmem/internal/obs"
@@ -52,27 +53,34 @@ func main() {
 	covert := flag.Bool("covert", false, "run the covert-channel experiment instead")
 	jsonOut := flag.Bool("json", false, "with -covert, emit one certificate fragment per scheduler on stdout (the cmd/audit schema)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	channels := flag.Int("channels", 1, "memory channels (1 = classic single-channel system)")
+	routingName := flag.String("routing", "colored", "multi-channel request routing: colored or interleaved")
 	workers := flag.Int("j", 0, "parallel profile-collection workers (0 = GOMAXPROCS); output is identical for every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	exectrace := flag.String("exectrace", "", "write a Go execution trace to this file")
 	flag.Parse()
 
+	routing, err := addr.RoutingByName(*routingName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakage:", err)
+		os.Exit(2)
+	}
 	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "leakage:", err)
 		os.Exit(2)
 	}
-	code := run(*attackerName, *schedName, *samples, *seed, *workers, *covert, *jsonOut)
+	code := run(*attackerName, *schedName, *samples, *seed, *workers, *covert, *jsonOut, *channels, routing)
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "leakage: profiling: %v\n", err)
 	}
 	os.Exit(code)
 }
 
-func run(attackerName, schedName string, samples int64, seed uint64, workers int, covert, jsonOut bool) int {
+func run(attackerName, schedName string, samples int64, seed uint64, workers int, covert, jsonOut bool, channels int, routing addr.Routing) int {
 	if covert {
-		return runCovert(seed, jsonOut)
+		return runCovert(seed, jsonOut, channels, routing)
 	}
 
 	attacker, err := workload.ByName(attackerName)
@@ -103,7 +111,7 @@ func run(attackerName, schedName string, samples int64, seed uint64, workers int
 			cells = append(cells, parallel.Cell[leakage.Profile]{
 				Key: fmt.Sprintf("leakage/%v/%s", k, co.Name),
 				Run: func(context.Context) (leakage.Profile, error) {
-					return leakage.CollectProfile(k, attacker, co, 8, milestone, total, seed)
+					return leakage.CollectProfile(k, attacker, co, 8, milestone, total, seed, channels, routing)
 				},
 			})
 		}
@@ -136,7 +144,7 @@ func run(attackerName, schedName string, samples int64, seed uint64, workers int
 	return 0
 }
 
-func runCovert(seed uint64, jsonOut bool) int {
+func runCovert(seed uint64, jsonOut bool, channels int, routing addr.Routing) int {
 	message := []bool{true, false, true, true, false, false, true, false, true, true, false, true, false, false, true, false}
 	// The attack mirrors leakage.CovertChannel's intensity modulation so
 	// -json and the plain output describe the exact same experiment.
@@ -158,6 +166,8 @@ func runCovert(seed uint64, jsonOut bool) int {
 			Off:             attack.Off,
 			WindowBusCycles: attack.WindowBusCycles,
 			Seed:            seed,
+			Channels:        channels,
+			Routing:         routing,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

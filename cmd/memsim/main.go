@@ -54,6 +54,8 @@ func main() {
 	energyOpts := flag.Bool("energy-opts", false, "enable all three FS energy optimizations")
 	fsRefresh := flag.Bool("refresh", false, "enable refresh (baseline, or FS_RP's deterministic refresh windows)")
 	weights := flag.String("weights", "", "comma-separated SLA slot weights per domain (FS only)")
+	channels := flag.Int("channels", 1, "memory-fabric width (1 = classic single channel)")
+	routing := flag.String("routing", "colored", "multi-channel routing: colored (per-domain channels) or interleaved (striped)")
 	traceIn := flag.String("trace", "", "drive every domain from this post-LLC trace file instead of the synthetic workload")
 	traceOut := flag.String("record-trace", "", "record domain 0's reference stream to this file and exit")
 	traceCount := flag.Int("record-count", 100000, "references to record with -record-trace")
@@ -110,6 +112,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	route, err := addr.RoutingByName(*routing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	if *configOut != "" {
 		e := config.Default()
 		e.Workload = *wl
@@ -119,6 +127,10 @@ func main() {
 		e.Seed = *seed
 		e.Prefetch = *prefetch
 		e.Refresh = *fsRefresh
+		if *channels > 1 {
+			e.Channels = *channels
+			e.Routing = route.String()
+		}
 		f, err := os.Create(*configOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -138,6 +150,10 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Prefetch = *prefetch
 	cfg.RefreshEnabled = *fsRefresh
+	if *channels > 1 {
+		cfg.Channels = *channels
+		cfg.Routing = route
+	}
 	if *energyOpts {
 		cfg.Energy = fsmem.EnergyOpts{SuppressDummies: true, RowBufferBoost: true, PowerDown: true}
 	}
@@ -250,6 +266,9 @@ func main() {
 
 	fmt.Printf("scheduler          %s\n", run.Scheduler)
 	fmt.Printf("workload           %s (%d domains)\n", run.Workload, len(run.Domains))
+	if cfg.Channels > 1 {
+		fmt.Printf("fabric             %d channels, %s routing\n", cfg.Channels, cfg.Routing)
+	}
 	fmt.Printf("bus cycles         %d\n", run.BusCycles)
 	fmt.Printf("demand reads       %d\n", run.TotalReads())
 	fmt.Printf("instructions       %d\n", run.TotalInstructions())

@@ -26,18 +26,21 @@ import (
 	"fmt"
 	"os"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/experiments"
 	"fsmem/internal/obs"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,7,8,9,10, ablations, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,7,8,9,10, s6, ablations, or all")
 	reads := flag.Int64("reads", 20_000, "demand reads per simulation (paper: 1M)")
 	cores := flag.Int("cores", 8, "cores / security domains")
 	seed := flag.Uint64("seed", 42, "random seed")
 	detail := flag.Bool("detail", false, "with -fig 6: also print latency/utilization/dummy statistics")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS); output is identical for every value")
+	channels := flag.Int("channels", 0, "run the grid through an N-channel fabric (0 = single channel; s6 always uses 4)")
+	routing := flag.String("routing", "colored", "multi-channel routing: colored or interleaved")
 	traceOut := flag.String("trace-out", "", "export every memoized cell's command trace as JSONL to this file")
 	traceCap := flag.Int("trace-cap", 0, "per-run trace ring capacity in events (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -68,7 +71,13 @@ func main() {
 		fmt.Println(render(t))
 	}
 
-	settings := experiments.Settings{Cores: *cores, TargetReads: *reads, Seed: *seed, Workers: *workers}
+	route, err := addr.RoutingByName(*routing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	settings := experiments.Settings{Cores: *cores, TargetReads: *reads, Seed: *seed, Workers: *workers,
+		Channels: *channels, Routing: route}
 	if *traceOut != "" {
 		settings.Observe = &obs.Options{TraceCap: *traceCap}
 	}
@@ -112,6 +121,8 @@ func main() {
 		show(experiments.Figure9(r))
 	case "10":
 		show(experiments.Figure10(r))
+	case "s6":
+		show(experiments.Section6(r))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q (options: %v, all)\n", *fig, experiments.Names())
 		os.Exit(2)

@@ -70,6 +70,30 @@ func TestRenderMultiDocument(t *testing.T) {
 	}
 }
 
+// TestRenderMultiChannel: a trace carrying nonzero channel ids grows the
+// ch prefix on every line, while an all-zero trace (every pre-fabric
+// export) renders without it — the golden file above pins that case.
+func TestRenderMultiChannel(t *testing.T) {
+	in := strings.Join([]string{
+		`{"fsmem_trace":1,"events":2,"dropped":0}`,
+		`{"c":5,"k":"cmd","dom":0,"ch":0,"cmd":"ACT","rank":1,"bank":2,"row":3,"col":0,"arg":0,"sup":0,"w":0}`,
+		`{"c":7,"k":"cmd","dom":3,"ch":2,"cmd":"ACT","rank":0,"bank":1,"row":9,"col":0,"arg":0,"sup":0,"w":0}`,
+	}, "\n") + "\n"
+	var got bytes.Buffer
+	if err := render(strings.NewReader(in), &got); err != nil {
+		t.Fatal(err)
+	}
+	out := got.String()
+	for _, want := range []string{
+		"cycle          5  ch0/dom0 ACT  r1/b2/row3",
+		"cycle          7  ch2/dom3 ACT  r0/b1/row9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multi-channel render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestRenderRejectsCorruption: a corrupted document must error, not render
 // an empty timeline.
 func TestRenderRejectsCorruption(t *testing.T) {

@@ -152,6 +152,23 @@ const (
 	PartitionChannel = addr.PartitionChannel
 )
 
+// Routing selects how the multi-channel fabric maps requests to channels:
+// page-colored by security domain (each domain owns whole channels, so the
+// single-channel non-interference argument composes) or address-interleaved
+// by column bits (the conventional bandwidth-first layout, which shares
+// every channel across domains and is what the auditor flags as LEAKY under
+// a Baseline scheduler).
+type Routing = addr.Routing
+
+// The fabric routing policies.
+const (
+	RouteColored     = addr.RouteColored
+	RouteInterleaved = addr.RouteInterleaved
+)
+
+// RoutingByName parses "colored" or "interleaved" (the cmd flag spellings).
+func RoutingByName(name string) (Routing, error) { return addr.RoutingByName(name) }
+
 // MinSlotSpacing solves the paper's Equations 1-4 generalization: the
 // smallest conflict-free slot spacing l for an anchor and partitioning mode
 // at the given timings (7 for rank partitioning with fixed periodic data at
@@ -251,10 +268,22 @@ func Serve(ctx context.Context, o ServerOptions) error { return server.Serve(ctx
 // LeakageProfile is an attacker execution profile (Figure 4).
 type LeakageProfile = leakage.Profile
 
-// CollectLeakageProfile times an attacker benchmark against co-runners.
+// CollectLeakageProfile times an attacker benchmark against co-runners on
+// a single-channel system. Use CollectLeakageProfileFabric to profile an
+// N-channel fabric.
 func CollectLeakageProfile(k SchedulerKind, attacker, coRunner Profile, domains int,
 	milestone, totalInstr int64, seed uint64) (LeakageProfile, error) {
-	return leakage.CollectProfile(k, attacker, coRunner, domains, milestone, totalInstr, seed)
+	return leakage.CollectProfile(k, attacker, coRunner, domains, milestone, totalInstr, seed,
+		1, addr.RouteColored)
+}
+
+// CollectLeakageProfileFabric is CollectLeakageProfile over a multi-channel
+// fabric: the attacker's milestones are timed while its requests route
+// through channels (>= 1) memory channels under the given routing policy.
+func CollectLeakageProfileFabric(k SchedulerKind, attacker, coRunner Profile, domains int,
+	milestone, totalInstr int64, seed uint64, channels int, routing Routing) (LeakageProfile, error) {
+	return leakage.CollectProfile(k, attacker, coRunner, domains, milestone, totalInstr, seed,
+		channels, routing)
 }
 
 // ProfilesIdentical reports strict non-interference between two profiles.

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/fault"
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/leakage"
@@ -85,6 +86,15 @@ type Options struct {
 	// injected into every window — the anti-vacuity hook.
 	FaultPlan string
 	FaultSeed uint64
+
+	// Channels audits an N-channel fabric (0 or 1 = the classic
+	// single-channel machine); Routing selects how requests map to
+	// channels. Interleaved routing stripes every domain across all
+	// channels — shared FR-FCFS queues on every channel — so a baseline
+	// interleaved fabric must come back LEAKY while colored Fixed
+	// Service stays SECURE.
+	Channels int
+	Routing  addr.Routing
 
 	// Progress, when non-nil, is called after each completed evaluation
 	// with the campaign stage and running counts. It may be called from
@@ -160,6 +170,11 @@ func (o Options) validate() error {
 		return fsmerr.New(fsmerr.CodeConfig, "audit.Run", "need at least 19 permutation rounds for a p < %.2f to be reachable, got %d", Alpha, o.Permutations)
 	case o.Rounds < 0 || o.TopK < 1:
 		return fsmerr.New(fsmerr.CodeConfig, "audit.Run", "invalid search shape: rounds %d, topK %d", o.Rounds, o.TopK)
+	case o.Channels < 0:
+		return fsmerr.New(fsmerr.CodeConfig, "audit.Run", "channels must be non-negative, got %d", o.Channels)
+	case o.Channels > 1 && o.Routing == addr.RouteColored && o.Domains%o.Channels != 0:
+		return fsmerr.New(fsmerr.CodeConfig, "audit.Run",
+			"%d domains do not split evenly over %d colored channels", o.Domains, o.Channels)
 	}
 	return nil
 }
@@ -253,6 +268,8 @@ func Run(ctx context.Context, k sim.SchedulerKind, o Options) (*LeakageCertifica
 						WindowBusCycles: a.WindowBusCycles,
 						Seed:            seedFor(a),
 						Fault:           plan,
+						Channels:        o.Channels,
+						Routing:         o.Routing,
 					})
 					if err != nil {
 						return leakage.ChannelRun{}, err
@@ -388,7 +405,7 @@ func Run(ctx context.Context, k sim.SchedulerKind, o Options) (*LeakageCertifica
 		}
 	}
 
-	return &LeakageCertificate{
+	cert := &LeakageCertificate{
 		Version:            1,
 		Scheduler:          k.String(),
 		Verdict:            verdict,
@@ -406,7 +423,12 @@ func Run(ctx context.Context, k sim.SchedulerKind, o Options) (*LeakageCertifica
 		CapacityBitsPerSec: Capacity(stats.BitErrorRate, best.WindowBusCycles, o.BusHz),
 		BusHz:              o.BusHz,
 		Attacks:            attacks,
-	}, nil
+	}
+	if o.Channels > 1 {
+		cert.Channels = o.Channels
+		cert.Routing = o.Routing.String()
+	}
+	return cert, nil
 }
 
 // FragmentFor computes the single-strategy certificate fragment for one

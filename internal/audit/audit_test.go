@@ -5,6 +5,7 @@ import (
 	"context"
 	"testing"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/sim"
 )
@@ -82,6 +83,56 @@ func TestFSVariantsCertifySecure(t *testing.T) {
 		if cert.CapacityBitsPerSec != 0 {
 			t.Errorf("%v: capacity %.1f, want 0", k, cert.CapacityBitsPerSec)
 		}
+	}
+}
+
+// The fabric-level security claim, certified both ways: interleaved
+// routing shares every channel across domains, so a Baseline scheduler
+// on a 2-channel fabric still leaks; colored routing dedicates channels
+// to domain blocks, so FS composes to a SECURE multi-channel system.
+func TestFabricRoutingVerdicts(t *testing.T) {
+	o := fastOpts()
+	o.Channels = 2
+	o.Routing = addr.RouteInterleaved
+	cert, err := Run(context.Background(), sim.Baseline, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Verdict != VerdictLeaky {
+		t.Fatalf("interleaved baseline verdict %s, want LEAKY (stats %+v)", cert.Verdict, cert.Stats)
+	}
+	if cert.Channels != 2 || cert.Routing != "interleaved" {
+		t.Errorf("certificate fabric fields: channels=%d routing=%q", cert.Channels, cert.Routing)
+	}
+
+	o = fastOpts()
+	o.Channels = 2
+	o.Routing = addr.RouteColored
+	cert, err = Run(context.Background(), sim.FSRankPart, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Verdict != VerdictSecure {
+		t.Fatalf("colored FS verdict %s, want SECURE (stats %+v)", cert.Verdict, cert.Stats)
+	}
+	if cert.Channels != 2 || cert.Routing != "colored" {
+		t.Errorf("certificate fabric fields: channels=%d routing=%q", cert.Channels, cert.Routing)
+	}
+}
+
+// Single-channel certificates must not grow fabric fields: the JSON bytes
+// are pinned by CI diffs against pre-fabric archives.
+func TestSingleChannelCertificateOmitsFabric(t *testing.T) {
+	cert, err := Run(context.Background(), sim.FSNoPart, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalCertificate(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"channels"`)) || bytes.Contains(b, []byte(`"routing"`)) {
+		t.Fatalf("single-channel certificate carries fabric fields:\n%s", b)
 	}
 }
 

@@ -81,6 +81,12 @@ type LeakageCertificate struct {
 	Fault     string `json:"fault,omitempty"`
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
 
+	// Channels and Routing describe the audited memory fabric; both are
+	// omitted for single-channel audits, so pre-fabric certificate bytes
+	// are unchanged.
+	Channels int    `json:"channels,omitempty"`
+	Routing  string `json:"routing,omitempty"`
+
 	// MonitorViolations counts runtime-monitor verdicts (timing, schedule,
 	// scheduler) summed over every window of every evaluation in the
 	// campaign. Nonzero forces VerdictFail.

@@ -8,8 +8,10 @@ import (
 	"io"
 	"strings"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/core"
 	"fsmem/internal/dram"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/sim"
 	"fsmem/internal/workload"
 )
@@ -27,6 +29,12 @@ type Experiment struct {
 	Refresh      bool   `json:"refresh,omitempty"`
 	TPTurnLength int64  `json:"tp_turn_length,omitempty"`
 	SLAWeights   []int  `json:"sla_weights,omitempty"`
+
+	// Channels widens the memory fabric (0 or 1 = classic single channel);
+	// Routing is "colored" (default) or "interleaved" and only meaningful
+	// with Channels > 1.
+	Channels int    `json:"channels,omitempty"`
+	Routing  string `json:"routing,omitempty"`
 
 	EnergyOpts struct {
 		SuppressDummies bool `json:"suppress_dummies,omitempty"`
@@ -143,8 +151,35 @@ func (e Experiment) ToSimConfig() (sim.Config, error) {
 		}
 	}
 
+	// Fabric shape: reject bad channel/routing combinations here with
+	// typed errors, before a sim.Config escapes into a job queue or a
+	// saved experiment file.
+	if e.Channels < 0 {
+		return sim.Config{}, fsmerr.New(fsmerr.CodeConfig, "config.ToSimConfig",
+			"channels must be non-negative, got %d", e.Channels)
+	}
+	routing := addr.RouteColored
+	if e.Routing != "" {
+		routing, err = addr.RoutingByName(e.Routing)
+		if err != nil {
+			return sim.Config{}, fsmerr.New(fsmerr.CodeConfig, "config.ToSimConfig",
+				"routing %q: want colored or interleaved", e.Routing)
+		}
+		if e.Channels <= 1 {
+			return sim.Config{}, fsmerr.New(fsmerr.CodeConfig, "config.ToSimConfig",
+				"routing %q requires channels > 1, got %d", e.Routing, e.Channels)
+		}
+	}
+	if e.Channels > 1 && routing == addr.RouteColored && len(mix.Profiles)%e.Channels != 0 {
+		return sim.Config{}, fsmerr.New(fsmerr.CodeConfig, "config.ToSimConfig",
+			"%d domains do not split evenly over %d colored channels",
+			len(mix.Profiles), e.Channels)
+	}
+
 	cfg := sim.DefaultConfig(mix, k)
 	cfg.DRAM = params
+	cfg.Channels = e.Channels
+	cfg.Routing = routing
 	if e.Reads > 0 {
 		cfg.TargetReads = e.Reads
 	}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"fsmem/internal/addr"
+	"fsmem/internal/fsmerr"
 	"fsmem/internal/sim"
 )
 
@@ -82,6 +84,72 @@ func TestToSimConfigErrors(t *testing.T) {
 	e.Workload = "nope"
 	if _, err := e.ToSimConfig(); err == nil {
 		t.Error("unknown workload should fail")
+	}
+}
+
+func TestToSimConfigFabric(t *testing.T) {
+	e := Default()
+	e.Channels = 4
+	e.Routing = "interleaved"
+	cfg, err := e.ToSimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Channels != 4 || cfg.Routing != addr.RouteInterleaved {
+		t.Fatalf("fabric shape lost: channels=%d routing=%v", cfg.Channels, cfg.Routing)
+	}
+
+	// Default routing is colored, and it survives a JSON round trip.
+	e = Default()
+	e.Channels = 2
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = got.ToSimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Channels != 2 || cfg.Routing != addr.RouteColored {
+		t.Fatalf("round-tripped fabric shape wrong: channels=%d routing=%v", cfg.Channels, cfg.Routing)
+	}
+}
+
+func TestToSimConfigFabricErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Experiment)
+	}{
+		{"negative channels", func(e *Experiment) { e.Channels = -2 }},
+		{"unknown routing", func(e *Experiment) { e.Channels = 2; e.Routing = "striped" }},
+		{"routing without fabric", func(e *Experiment) { e.Routing = "interleaved" }},
+		{"uneven coloring", func(e *Experiment) { e.Cores = 6; e.Channels = 4 }},
+	}
+	for _, tc := range cases {
+		e := Default()
+		tc.mut(&e)
+		_, err := e.ToSimConfig()
+		if err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+			continue
+		}
+		if fsmerr.CodeOf(err) != fsmerr.CodeConfig {
+			t.Errorf("%s: want CodeConfig, got %v (%v)", tc.name, fsmerr.CodeOf(err), err)
+		}
+	}
+
+	// Interleaved routing has no divisibility constraint: 6 cores over 4
+	// channels is fine when lines stripe by address.
+	e := Default()
+	e.Cores = 6
+	e.Channels = 4
+	e.Routing = "interleaved"
+	if _, err := e.ToSimConfig(); err != nil {
+		t.Fatalf("interleaved 6/4 should be accepted: %v", err)
 	}
 }
 

@@ -29,6 +29,59 @@ func newAttemptMem() *attemptMem {
 	return &attemptMem{fakeMem: fakeMem{readCap: 1 << 30, writeCap: 1 << 30}}
 }
 
+// fanoutMem spreads one core's requests over N per-channel attemptMems by
+// column bits — the interleaved fabric's routing policy — so the
+// fast-forward twins are exercised with reads in flight on several
+// channels at once, completing out of order across them.
+type fanoutMem struct {
+	chans []*attemptMem
+}
+
+func newFanoutMem(n int) *fanoutMem {
+	m := &fanoutMem{}
+	for i := 0; i < n; i++ {
+		m.chans = append(m.chans, newAttemptMem())
+	}
+	return m
+}
+
+func (m *fanoutMem) route(a dram.Address) *attemptMem { return m.chans[a.Col%len(m.chans)] }
+
+func (m *fanoutMem) EnqueueRead(d int, a dram.Address, done func()) bool {
+	return m.route(a).EnqueueRead(d, a, done)
+}
+
+func (m *fanoutMem) EnqueueWrite(d int, a dram.Address) bool {
+	return m.route(a).EnqueueWrite(d, a)
+}
+
+func (m *fanoutMem) attempts() int {
+	n := 0
+	for _, c := range m.chans {
+		n += c.attempts
+	}
+	return n
+}
+
+// pendingChans lists the channels with an outstanding completion, in
+// channel order (identical on both twins, so a pseudo-random pick from it
+// injects the same completion into both).
+func (m *fanoutMem) pendingChans() []int {
+	var out []int
+	for i, c := range m.chans {
+		if len(c.pending) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *fanoutMem) setRejectAll(v bool) {
+	for _, c := range m.chans {
+		c.rejectNext = v
+	}
+}
+
 // TestNextInteractionExact drives each scenario to an interesting state and
 // then checks NextInteraction is exact: no enqueue attempt happens in the
 // k-1 cycles it declares free (a late horizon would silently change
@@ -186,18 +239,30 @@ func TestSkipMatchesDense(t *testing.T) {
 // after every jump the two must agree on every observable — indices,
 // outstanding reads, enqueue attempts, and statistics. Completions and
 // backpressure are injected pseudo-randomly (identically on both) to reach
-// the stall/resume transitions where off-by-one horizons hide.
+// the stall/resume transitions where off-by-one horizons hide. The
+// channels parameter fans the core's requests out over 1, 2, or 4
+// column-interleaved memories, so the same property holds when reads are
+// in flight — and complete out of order — across a multi-channel fabric.
 func FuzzNextEvent(f *testing.F) {
-	f.Add(uint64(1), uint8(40))
-	f.Add(uint64(0xdeadbeef), uint8(200))
-	f.Add(uint64(42), uint8(255))
-	f.Fuzz(func(t *testing.T, seed uint64, rounds uint8) {
+	f.Add(uint64(1), uint8(40), uint8(0))
+	f.Add(uint64(0xdeadbeef), uint8(200), uint8(0))
+	f.Add(uint64(42), uint8(255), uint8(0))
+	f.Add(uint64(7), uint8(120), uint8(1))
+	f.Add(uint64(0xfab), uint8(200), uint8(2))
+	f.Add(uint64(0xdeadbeef), uint8(200), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, rounds uint8, channels uint8) {
+		widths := []int{1, 2, 4}
+		n := widths[int(channels)%len(widths)]
 		rng := trace.NewRNG(seed)
 		refs := make([]trace.Ref, 1+rng.Intn(16))
 		for i := range refs {
-			refs[i] = trace.Ref{Gap: rng.Intn(200), Write: rng.Bool(0.3)}
+			refs[i] = trace.Ref{
+				Gap:   rng.Intn(200),
+				Write: rng.Bool(0.3),
+				Addr:  dram.Address{Col: rng.Intn(1024)},
+			}
 		}
-		ma, mb := newAttemptMem(), newAttemptMem()
+		ma, mb := newFanoutMem(n), newFanoutMem(n)
 		var sa, sb stats.Domain
 		dense := NewCore(0, &trace.SliceStream{Refs: refs}, ma, &sa)
 		jump := NewCore(0, &trace.SliceStream{Refs: refs}, mb, &sb)
@@ -207,15 +272,27 @@ func FuzzNextEvent(f *testing.F) {
 				t.Fatalf("round %d: NextInteraction diverged: dense %d vs jump %d", r, ka, kb)
 			}
 			if ka == Forever {
-				if len(ma.pending) == 0 {
+				busy := ma.pendingChans()
+				if len(busy) == 0 {
 					break // truly finished (stream drained into a stall with nothing in flight)
 				}
-				ma.completeOldest()
-				mb.completeOldest()
+				c := busy[rng.Intn(len(busy))]
+				ma.chans[c].completeOldest()
+				mb.chans[c].completeOldest()
 				continue
 			}
-			reject := rng.Bool(0.2)
-			ma.rejectNext, mb.rejectNext = reject, reject
+			if rng.Bool(0.2) {
+				// Backpressure one pseudo-random channel (or, sometimes, all
+				// of them) on both twins.
+				if rng.Bool(0.5) {
+					ma.setRejectAll(true)
+					mb.setRejectAll(true)
+				} else {
+					c := rng.Intn(n)
+					ma.chans[c].rejectNext = true
+					mb.chans[c].rejectNext = true
+				}
+			}
 			// Dense twin: ka single cycles. Jump twin: one fast-forward jump
 			// over the free span, then the interacting cycle.
 			for i := int64(0); i < ka; i++ {
@@ -223,10 +300,14 @@ func FuzzNextEvent(f *testing.F) {
 			}
 			jump.Skip(ka - 1)
 			jump.Cycle()
-			ma.rejectNext, mb.rejectNext = false, false
+			ma.setRejectAll(false)
+			mb.setRejectAll(false)
 			if rng.Bool(0.3) {
-				ma.completeOldest()
-				mb.completeOldest()
+				if busy := ma.pendingChans(); len(busy) > 0 {
+					c := busy[rng.Intn(len(busy))]
+					ma.chans[c].completeOldest()
+					mb.chans[c].completeOldest()
+				}
 			}
 			if dense.retireIdx != jump.retireIdx || dense.fetchIdx != jump.fetchIdx {
 				t.Fatalf("round %d: indices diverged: dense (r=%d f=%d) vs jump (r=%d f=%d)",
@@ -235,8 +316,16 @@ func FuzzNextEvent(f *testing.F) {
 			if len(dense.reads) != len(jump.reads) || dense.OutstandingReads() != jump.OutstandingReads() {
 				t.Fatalf("round %d: outstanding reads diverged", r)
 			}
-			if ma.attempts != mb.attempts {
-				t.Fatalf("round %d: attempts diverged: dense %d vs jump %d", r, ma.attempts, mb.attempts)
+			if ma.attempts() != mb.attempts() {
+				t.Fatalf("round %d: attempts diverged: dense %d vs jump %d", r, ma.attempts(), mb.attempts())
+			}
+			for c := range ma.chans {
+				if ma.chans[c].attempts != mb.chans[c].attempts ||
+					len(ma.chans[c].pending) != len(mb.chans[c].pending) {
+					t.Fatalf("round %d: channel %d diverged: dense (att=%d pend=%d) vs jump (att=%d pend=%d)",
+						r, c, ma.chans[c].attempts, len(ma.chans[c].pending),
+						mb.chans[c].attempts, len(mb.chans[c].pending))
+				}
 			}
 			if sa != sb {
 				t.Fatalf("round %d: stats diverged: dense %+v vs jump %+v", r, sa, sb)

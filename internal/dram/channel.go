@@ -68,6 +68,25 @@ type Counters struct {
 	PowerDowns, PowerUps                              int64
 }
 
+// Add accumulates another channel's counters into c — every field, so a
+// multi-channel aggregate stays self-consistent (the legacy merge summed
+// only a subset, leaving ratios over the rest silently wrong).
+func (c *Counters) Add(o Counters) {
+	c.Acts += o.Acts
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+	c.Precharges += o.Precharges
+	c.Refreshes += o.Refreshes
+	c.SuppressedActs += o.SuppressedActs
+	c.SuppressedReads += o.SuppressedReads
+	c.SuppressedWrites += o.SuppressedWrites
+	c.SuppressedPrecharges += o.SuppressedPrecharges
+	c.CmdBusBusy += o.CmdBusBusy
+	c.DataBusBusy += o.DataBusBusy
+	c.PowerDowns += o.PowerDowns
+	c.PowerUps += o.PowerUps
+}
+
 // ObsMetrics contributes the channel counters to an observability snapshot
 // (structurally satisfies obs.MetricSource without importing it).
 func (c Counters) ObsMetrics(emit func(name string, value float64)) {

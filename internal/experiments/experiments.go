@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/core"
 	"fsmem/internal/energy"
 	"fsmem/internal/fsmerr"
@@ -102,6 +103,13 @@ type Settings struct {
 	TargetReads int64
 	Seed        uint64
 
+	// Channels selects the memory-fabric width every cell simulates (0 or
+	// 1 = the classic single-channel machine); Routing maps requests to
+	// channels. Both are part of every memo key: a 4-channel cell must
+	// never answer a single-channel request.
+	Channels int
+	Routing  addr.Routing
+
 	// Workers bounds the worker pool the figure grids are sharded across
 	// (0 = GOMAXPROCS). Every table is byte-identical for every value; 1
 	// is the serial path.
@@ -145,6 +153,8 @@ type runKey struct {
 	refresh  bool
 	weights  string
 	dram     int // bank groups disambiguate DDR3 vs DDR4 runs
+	channels int // effective fabric width (1 = single-channel)
+	routing  addr.Routing
 }
 
 // cellValue is one memoized grid cell: the simulation result or the error
@@ -195,12 +205,29 @@ type Spec struct {
 // (Settings.Observe) deliberately is not — observation must never decide
 // which simulation a cell runs.
 func keyOf(cfg sim.Config) runKey {
+	// Normalize the fabric shape the way sim.New resolves it, so the
+	// spellings "Channels: 2", "DRAM.Channels: 2", and "Channels: 0 with a
+	// 1-channel DRAM" address the cells they actually run. Routing is
+	// meaningless on one channel; pin it so it cannot fragment the cache.
+	channels := cfg.Channels
+	if channels == 0 {
+		channels = cfg.DRAM.Channels
+	}
+	if channels <= 1 {
+		channels = 1
+	}
+	routing := cfg.Routing
+	if channels == 1 {
+		routing = addr.RouteColored
+	}
 	return runKey{
 		workload: cfg.Mix.Name, sched: cfg.Scheduler, prefetch: cfg.Prefetch, energy: cfg.Energy,
 		turn: cfg.TPTurnLength, cores: len(cfg.Mix.Profiles),
 		slotL: cfg.FSSlotSpacing, refresh: cfg.RefreshEnabled,
-		weights: fmt.Sprint(cfg.SLAWeights),
-		dram:    cfg.DRAM.BankGroups,
+		weights:  fmt.Sprint(cfg.SLAWeights),
+		dram:     cfg.DRAM.BankGroups,
+		channels: channels,
+		routing:  routing,
 	}
 }
 
@@ -222,6 +249,8 @@ func (r *Runner) configFor(sp Spec) (sim.Config, runKey) {
 	cfg.TargetReads = r.S.TargetReads
 	cfg.Observe = r.S.Observe
 	cfg.DenseLoop = r.S.DenseLoop
+	cfg.Channels = r.S.Channels
+	cfg.Routing = r.S.Routing
 	if sp.Mutate != nil {
 		sp.Mutate(&cfg)
 	}
@@ -439,7 +468,7 @@ func Figure4(r *Runner) (Table, []leakage.Profile, error) {
 			cells = append(cells, parallel.Cell[leakage.Profile]{
 				Key: fmt.Sprintf("Figure4/%v/%s", k, co.Name),
 				Run: func(context.Context) (leakage.Profile, error) {
-					return leakage.CollectProfile(k, att, co, r.S.Cores, milestone, total, r.S.Seed)
+					return leakage.CollectProfile(k, att, co, r.S.Cores, milestone, total, r.S.Seed, r.S.Channels, r.S.Routing)
 				},
 			})
 		}
@@ -823,6 +852,67 @@ func Figure10(r *Runner) (Table, error) {
 	return t, nil
 }
 
+// Section6 regenerates the paper's full target system (Section 6): 32
+// cores over a 4-channel fabric. The conventional configuration stripes
+// every domain across all channels (interleaved routing) under the
+// FR-FCFS baseline — the fast but leaky machine — while the secure
+// configuration page-colors domains onto disjoint channels, each running
+// its own Fixed Service schedule. Both run the same 32-thread mix; the
+// interleaved read budget is scaled by the channel count so the two
+// configurations retire comparable work (colored targets are per
+// channel).
+func Section6(r *Runner) (Table, error) {
+	const channels = 4
+	cores := r.S.Cores * channels
+	mix, err := workload.Rate("milc", cores)
+	if err != nil {
+		return Table{}, fsmerr.Wrap(fsmerr.CodeExperiment, "experiments.Section6", err)
+	}
+	t := Table{
+		ID:      "Section 6",
+		Title:   fmt.Sprintf("Target system: %d cores, %d channels", cores, channels),
+		Columns: []string{"sum IPC", "avg read latency", "bus utilization"},
+	}
+	cases := []struct {
+		label   string
+		kind    sim.SchedulerKind
+		routing addr.Routing
+	}{
+		{"baseline/interleaved", sim.Baseline, addr.RouteInterleaved},
+		{"fs_rp/colored", sim.FSRankPart, addr.RouteColored},
+	}
+	var specs []Spec
+	for _, c := range cases {
+		c := c
+		specs = append(specs, Spec{Mix: mix, Kind: c.kind, Mutate: func(cfg *sim.Config) {
+			cfg.Channels = channels
+			cfg.Routing = c.routing
+			if c.routing == addr.RouteInterleaved {
+				cfg.TargetReads = r.S.TargetReads * channels
+			}
+		}})
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return Table{}, err
+	}
+	for i, c := range cases {
+		res, err := r.run(mix, c.kind, specs[i].Mutate)
+		if err != nil {
+			return Table{}, err
+		}
+		var ipc float64
+		for _, d := range res.Run.Domains {
+			ipc += d.IPC()
+		}
+		t.Rows = append(t.Rows, Row{Label: c.label, Values: []float64{
+			ipc, res.Run.AvgReadLatency(), res.Run.BusUtilization(),
+		}})
+	}
+	t.Notes = append(t.Notes,
+		"interleaved baseline shares every channel across domains (leaky, audited LEAKY); colored FS is the product of 4 independent secure machines")
+	return t, nil
+}
+
 // capture runs one figure, converting a panic anywhere below it into a
 // structured experiment error so one broken figure cannot abort the whole
 // regeneration.
@@ -856,6 +946,7 @@ func All(r *Runner) ([]Table, error) {
 		{"Figure8", func() (Table, error) { return Figure8(r) }},
 		{"Figure9", func() (Table, error) { return Figure9(r) }},
 		{"Figure10", func() (Table, error) { return Figure10(r) }},
+		{"Section6", func() (Table, error) { return Section6(r) }},
 	}
 	var tables []Table
 	var errs []error
@@ -870,9 +961,10 @@ func All(r *Runner) ([]Table, error) {
 	return tables, errors.Join(errs...)
 }
 
-// Names lists the available figure IDs.
+// Names lists the available figure IDs. "s6" is the Section 6 target
+// system (32 cores over a 4-channel fabric).
 func Names() []string {
-	n := []string{"3", "4", "5", "6", "7", "8", "9", "10"}
+	n := []string{"3", "4", "5", "6", "7", "8", "9", "10", "s6"}
 	sort.Strings(n)
 	return n
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/fault"
 	"fsmem/internal/fsmerr"
 	"fsmem/internal/sim"
@@ -30,8 +31,11 @@ type Profile struct {
 // CollectProfile runs the attacker benchmark as domain 0 against
 // (domains-1) co-runner copies of coRunner, sampling the attacker's
 // progress every milestone instructions until it retires totalInstr.
+// channels and routing select the memory fabric (channels <= 1 is the
+// classic single-channel machine; routing is ignored there).
 func CollectProfile(k sim.SchedulerKind, attacker workload.Profile, coRunner workload.Profile,
-	domains int, milestone, totalInstr int64, seed uint64) (Profile, error) {
+	domains int, milestone, totalInstr int64, seed uint64,
+	channels int, routing addr.Routing) (Profile, error) {
 
 	mix := workload.Mix{Name: "leakage", Profiles: make([]workload.Profile, domains)}
 	mix.Profiles[0] = attacker
@@ -42,6 +46,8 @@ func CollectProfile(k sim.SchedulerKind, attacker workload.Profile, coRunner wor
 	cfg.Seed = seed
 	cfg.TargetReads = 0 // run on instruction budget instead
 	cfg.MaxBusCycles = 200_000_000
+	cfg.Channels = channels
+	cfg.Routing = routing
 
 	sys, err := sim.New(cfg)
 	if err != nil {
@@ -56,7 +62,7 @@ func CollectProfile(k sim.SchedulerKind, attacker workload.Profile, coRunner wor
 	cpuPerBus := int64(cfg.DRAM.CPUCyclesPerBusCycle)
 	for cycle := int64(0); cycle < cfg.MaxBusCycles; cycle++ {
 		sys.Step()
-		retired := sys.Controller().Dom[0].Instructions
+		retired := sys.DomainInstructions(0)
 		for retired >= next {
 			prof.CyclesAt = append(prof.CyclesAt, (cycle+1)*cpuPerBus)
 			prof.Instruction = append(prof.Instruction, next)
@@ -67,7 +73,7 @@ func CollectProfile(k sim.SchedulerKind, attacker workload.Profile, coRunner wor
 		}
 	}
 	return prof, fmt.Errorf("leakage: attacker retired only %d of %d instructions before the cycle budget",
-		sys.Controller().Dom[0].Instructions, totalInstr)
+		sys.DomainInstructions(0), totalInstr)
 }
 
 // Divergence returns the maximum absolute difference between two profiles'
@@ -243,6 +249,13 @@ type ChannelParams struct {
 	// Fault, when non-nil, runs every window under the given fault plan;
 	// the summed monitor verdicts surface in ChannelRun.
 	Fault *fault.Plan
+	// Channels selects the memory-fabric width; zero or one is the
+	// classic single-channel machine. Routing picks how requests map to
+	// channels (colored keeps domains on disjoint channels, interleaved
+	// stripes every domain across all of them — the configuration whose
+	// cross-channel contention the audit engine must flag).
+	Channels int
+	Routing  addr.Routing
 }
 
 // ChannelRun is a decoded covert-channel attempt plus the raw per-window
@@ -297,6 +310,8 @@ func RunChannel(k sim.SchedulerKind, message []bool, p ChannelParams) (ChannelRu
 		cfg.TargetReads = 0
 		cfg.MaxBusCycles = p.WindowBusCycles
 		cfg.Fault = p.Fault
+		cfg.Channels = p.Channels
+		cfg.Routing = p.Routing
 		res, err := sim.Simulate(cfg)
 		if err != nil {
 			return ChannelRun{}, err

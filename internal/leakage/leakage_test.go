@@ -3,6 +3,7 @@ package leakage
 import (
 	"testing"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/sim"
 	"fsmem/internal/workload"
 )
@@ -19,7 +20,7 @@ func attacker(t *testing.T) workload.Profile {
 func collect(t *testing.T, k sim.SchedulerKind, coMPKI float64) Profile {
 	t.Helper()
 	co := workload.Synthetic("co", coMPKI)
-	prof, err := CollectProfile(k, attacker(t), co, 8, 10_000, 300_000, 99)
+	prof, err := CollectProfile(k, attacker(t), co, 8, 10_000, 300_000, 99, 1, addr.RouteColored)
 	if err != nil {
 		t.Fatalf("%v: %v", k, err)
 	}

@@ -25,9 +25,11 @@ import (
 // jsonlEvent is the parse shape of one exported line (reader side only; the
 // writer formats by hand).
 type jsonlEvent struct {
-	C    int64  `json:"c"`
-	K    string `json:"k"`
-	Dom  int16  `json:"dom"`
+	C   int64  `json:"c"`
+	K   string `json:"k"`
+	Dom int16  `json:"dom"`
+	Ch  int16  `json:"ch"` // absent in pre-fabric traces; defaults to 0
+
 	Cmd  string `json:"cmd"`
 	Rank int16  `json:"rank"`
 	Bank int16  `json:"bank"`
@@ -81,8 +83,8 @@ func WriteJSONL(w io.Writer, t *Tracer) error {
 			cmd = e.Cmd.String()
 		}
 		if _, err := fmt.Fprintf(bw,
-			`{"c":%d,"k":"%s","dom":%d,"cmd":"%s","rank":%d,"bank":%d,"row":%d,"col":%d,"arg":%d,"sup":%d,"w":%d}`+"\n",
-			e.Cycle, e.Kind, e.Domain, cmd, e.Rank, e.Bank, e.Row, e.Col, e.Arg, sup, wr); err != nil {
+			`{"c":%d,"k":"%s","dom":%d,"ch":%d,"cmd":"%s","rank":%d,"bank":%d,"row":%d,"col":%d,"arg":%d,"sup":%d,"w":%d}`+"\n",
+			e.Cycle, e.Kind, e.Domain, e.Chan, cmd, e.Rank, e.Bank, e.Row, e.Col, e.Arg, sup, wr); err != nil {
 			return err
 		}
 	}
@@ -122,7 +124,7 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 			return nil, fmt.Errorf("obs: trace line %d: unknown event kind %q", lineNo, je.K)
 		}
 		e := Event{
-			Cycle: je.C, Kind: kind, Arg: je.Arg, Domain: je.Dom,
+			Cycle: je.C, Kind: kind, Arg: je.Arg, Domain: je.Dom, Chan: je.Ch,
 			Rank: je.Rank, Bank: je.Bank, Row: je.Row, Col: je.Col,
 		}
 		if je.Sup != 0 {
@@ -235,10 +237,22 @@ func reconfigPhaseName(arg int64) string {
 // a one-line description.
 func Timeline(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
+	// The channel column only appears for multi-channel traces, so
+	// single-channel timelines render exactly as they always have.
+	multiChan := false
+	for _, e := range events {
+		if e.Chan != 0 {
+			multiChan = true
+			break
+		}
+	}
 	for _, e := range events {
 		dom := fmt.Sprintf("dom%d", e.Domain)
 		if e.Domain < 0 {
 			dom = "-"
+		}
+		if multiChan {
+			dom = fmt.Sprintf("ch%d/%s", e.Chan, dom)
 		}
 		var desc string
 		switch e.Kind {

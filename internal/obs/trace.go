@@ -93,6 +93,7 @@ type Event struct {
 	Cmd    dram.Kind
 	Flags  uint8
 	Domain int16
+	Chan   int16 // memory channel the event occurred on (0 in single-channel runs)
 	Rank   int16
 	Bank   int16
 	Row    int32
@@ -124,6 +125,17 @@ type Tracer struct {
 	ring    []Event
 	head    int // next overwrite position once len(ring) == cap(ring)
 	dropped int64
+	channel int16 // stamped into every record (multi-channel fabric)
+}
+
+// SetChannel sets the memory-channel id stamped into every subsequent
+// event. The fabric gives each channel's controller its own tracer and
+// tags it here; single-channel runs leave the default 0.
+func (t *Tracer) SetChannel(ch int) {
+	if t == nil {
+		return
+	}
+	t.channel = int16(ch)
 }
 
 // NewTracer builds a tracer per the options (nil options = defaults).
@@ -163,6 +175,7 @@ func (t *Tracer) Events() []Event {
 }
 
 func (t *Tracer) record(e Event) {
+	e.Chan = t.channel
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, e)
 		return
@@ -173,6 +186,43 @@ func (t *Tracer) record(e Event) {
 		t.head = 0
 	}
 	t.dropped++
+}
+
+// Merge combines per-channel tracers into one chronological trace. Each
+// tracer's events are already cycle-ordered (recording follows the
+// simulation clock), so this is a k-way merge: ties resolve in argument
+// order, which the fabric passes in channel order — deterministic for a
+// deterministic simulation. Dropped counts sum. Nil tracers are skipped;
+// the result is never nil.
+func Merge(ts ...*Tracer) *Tracer {
+	var events [][]Event
+	var dropped int64
+	total := 0
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		es := t.Events()
+		events = append(events, es)
+		dropped += t.Dropped()
+		total += len(es)
+	}
+	merged := &Tracer{ring: make([]Event, 0, total), dropped: dropped}
+	idx := make([]int, len(events))
+	for len(merged.ring) < total {
+		best := -1
+		for i, es := range events {
+			if idx[i] >= len(es) {
+				continue
+			}
+			if best < 0 || es[idx[i]].Cycle < events[best][idx[best]].Cycle {
+				best = i
+			}
+		}
+		merged.ring = append(merged.ring, events[best][idx[best]])
+		idx[best]++
+	}
+	return merged
 }
 
 // Command records one bus command.

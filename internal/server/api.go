@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/audit"
 	"fsmem/internal/config"
 	"fsmem/internal/energy"
@@ -89,7 +90,8 @@ type JobRequest struct {
 
 // FiguresRequest asks for evaluation figures at a given scale.
 type FiguresRequest struct {
-	// Figures lists figure IDs ("3".."10"); empty means every figure.
+	// Figures lists figure IDs ("3".."10", plus "s6" for the Section 6
+	// multi-channel target system); empty means every figure.
 	Figures []string `json:"figures,omitempty"`
 	Cores   int      `json:"cores,omitempty"`   // default 8
 	Reads   int64    `json:"reads,omitempty"`   // default 20000
@@ -106,6 +108,8 @@ type LeakageRequest struct {
 	Cores     int    `json:"cores,omitempty"`    // default 8
 	Samples   int64  `json:"samples,omitempty"`  // x10K instructions, default 40
 	Seed      uint64 `json:"seed,omitempty"`     // default 42
+	Channels  int    `json:"channels,omitempty"` // memory channels, default 1
+	Routing   string `json:"routing,omitempty"`  // colored (default) or interleaved
 }
 
 // ChaosRequest asks for a fault-injection campaign.
@@ -132,6 +136,8 @@ type AuditRequest struct {
 	Seed         uint64 `json:"seed,omitempty"`         // campaign seed, default 42
 	Fault        string `json:"fault,omitempty"`        // fault plan name (anti-vacuity), default none
 	FaultSeed    uint64 `json:"fault_seed,omitempty"`   // fault plan seed, default 7
+	Channels     int    `json:"channels,omitempty"`     // memory channels, default 1
+	Routing      string `json:"routing,omitempty"`      // colored (default) or interleaved
 }
 
 // JobState is a job's lifecycle phase.
@@ -413,8 +419,17 @@ func (r *JobRequest) normalize() (string, error) {
 				return "", err
 			}
 		}
-		return fmt.Sprintf("leakage|sched=%s|attacker=%s|cores=%d|samples=%d|seed=%d",
-			l.Scheduler, l.Attacker, l.Cores, l.Samples, l.Seed), nil
+		if l.Channels == 0 {
+			l.Channels = 1
+		}
+		if l.Routing == "" {
+			l.Routing = addr.RouteColored.String()
+		}
+		if _, err := addr.RoutingByName(l.Routing); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("leakage|sched=%s|attacker=%s|cores=%d|samples=%d|seed=%d|channels=%d|routing=%s",
+			l.Scheduler, l.Attacker, l.Cores, l.Samples, l.Seed, l.Channels, l.Routing), nil
 	case KindChaos:
 		c := r.Chaos
 		if c == nil {
@@ -477,8 +492,17 @@ func (r *JobRequest) normalize() (string, error) {
 				return "", fmt.Errorf("unknown fault plan %q", a.Fault)
 			}
 		}
-		return fmt.Sprintf("audit|sched=%s|cores=%d|bits=%d|window=%d|seeds=%d|perms=%d|rounds=%d|seed=%d|fault=%s|faultseed=%d",
-			a.Scheduler, a.Cores, a.Bits, a.Window, a.Seeds, a.Permutations, a.Rounds, a.Seed, a.Fault, a.FaultSeed), nil
+		if a.Channels == 0 {
+			a.Channels = 1
+		}
+		if a.Routing == "" {
+			a.Routing = addr.RouteColored.String()
+		}
+		if _, err := addr.RoutingByName(a.Routing); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("audit|sched=%s|cores=%d|bits=%d|window=%d|seeds=%d|perms=%d|rounds=%d|seed=%d|fault=%s|faultseed=%d|channels=%d|routing=%s",
+			a.Scheduler, a.Cores, a.Bits, a.Window, a.Seeds, a.Permutations, a.Rounds, a.Seed, a.Fault, a.FaultSeed, a.Channels, a.Routing), nil
 	default:
 		return "", fmt.Errorf("unknown job kind %q (options: %s, %s, %s, %s, %s)",
 			r.Kind, KindSimulate, KindFigures, KindLeakage, KindChaos, KindAudit)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/audit"
 	"fsmem/internal/experiments"
 	"fsmem/internal/fault"
@@ -167,6 +168,7 @@ var figureFuncs = map[string]func(*experiments.Runner) (experiments.Table, error
 	"8":  experiments.Figure8,
 	"9":  experiments.Figure9,
 	"10": experiments.Figure10,
+	"s6": experiments.Section6,
 }
 
 func (m *Manager) runFigures(ctx context.Context, j *Job) (*cacheEntry, error) {
@@ -234,6 +236,15 @@ func (m *Manager) runLeakage(ctx context.Context, j *Job) (*cacheEntry, error) {
 	}
 	milestone := int64(10_000)
 	total := req.Samples * milestone
+	// Journal records from before the fabric carry no routing; default it
+	// like normalize() does for fresh submissions.
+	routing := addr.RouteColored
+	if req.Routing != "" {
+		routing, err = addr.RoutingByName(req.Routing)
+		if err != nil {
+			return nil, fsmerr.Wrap(fsmerr.CodeConfig, "server.leakage", err)
+		}
+	}
 	coRunners := []workload.Profile{workload.Synthetic("idle", 0.01), workload.Synthetic("streaming", 45)}
 
 	var cells []parallel.Cell[leakage.Profile]
@@ -243,7 +254,7 @@ func (m *Manager) runLeakage(ctx context.Context, j *Job) (*cacheEntry, error) {
 			cells = append(cells, parallel.Cell[leakage.Profile]{
 				Key: fmt.Sprintf("leakage/%v/%s", k, co.Name),
 				Run: func(context.Context) (leakage.Profile, error) {
-					p, err := leakage.CollectProfile(k, attacker, co, req.Cores, milestone, total, req.Seed)
+					p, err := leakage.CollectProfile(k, attacker, co, req.Cores, milestone, total, req.Seed, req.Channels, routing)
 					if err == nil {
 						done := int(j.progressDone.Add(1))
 						j.events.publish(JobEvent{Phase: "progress", Cell: fmt.Sprintf("%v/%s", k, co.Name),
@@ -287,6 +298,13 @@ func (m *Manager) runAudit(ctx context.Context, j *Job) (*cacheEntry, error) {
 	if err != nil {
 		return nil, fsmerr.Wrap(fsmerr.CodeConfig, "server.audit", err)
 	}
+	routing := addr.RouteColored
+	if req.Routing != "" {
+		routing, err = addr.RoutingByName(req.Routing)
+		if err != nil {
+			return nil, fsmerr.Wrap(fsmerr.CodeConfig, "server.audit", err)
+		}
+	}
 	cert, err := audit.Run(ctx, k, audit.Options{
 		Domains:         req.Cores,
 		Bits:            req.Bits,
@@ -298,6 +316,8 @@ func (m *Manager) runAudit(ctx context.Context, j *Job) (*cacheEntry, error) {
 		Workers:         m.gridShards,
 		FaultPlan:       req.Fault,
 		FaultSeed:       req.FaultSeed,
+		Channels:        req.Channels,
+		Routing:         routing,
 		Metrics:         &m.auditMetrics,
 		Progress: func(stage string, done, total int) {
 			// Campaign totals grow per stage; report the stage-local count

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"fsmem/internal/sim"
+	"fsmem/internal/workload"
+)
+
+// TestSingleChannelOutputPinned pins the fabric refactor's first
+// correctness anchor: with one channel (the default), the canonical
+// result document is byte-identical to the pre-fabric simulator's. The
+// hashes were captured from the tree immediately before the fabric
+// landed; a change here means single-channel behavior drifted.
+func TestSingleChannelOutputPinned(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched sim.SchedulerKind
+		wl    string
+		cores int
+		reads int64
+		want  string
+	}{
+		{"fsrp-mcf4", sim.FSRankPart, "mcf", 4, 2000,
+			"9bbc3b09806364a472e58f1b34fb5b3bbc0a23a56b9685e17dd6cab5dbfb2e80"},
+		{"baseline-milc4", sim.Baseline, "milc", 4, 2000,
+			"d5236e0660ce3512603c2277bcfe47fecc4766fef21ba83c24a5c2896a0571fe"},
+		{"fsbp-mix8", sim.FSBankPart, "milc", 8, 1500,
+			"0f053398ce131f6912093005886003e8646c8bdf63c2b41f61174b74c6a30041"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mix, err := workload.Rate(c.wl, c.cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := sim.DefaultConfig(mix, c.sched)
+			cfg.TargetReads = c.reads
+			res, err := sim.Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc, err := json.Marshal(Summarize(cfg, res))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fmt.Sprintf("%x", sha256.Sum256(doc)); got != c.want {
+				t.Errorf("single-channel summary drifted from the pre-fabric simulator:\n got %s\nwant %s", got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,653 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/core"
+	"fsmem/internal/cpu"
+	"fsmem/internal/dram"
+	"fsmem/internal/fault"
+	"fsmem/internal/fsmerr"
+	"fsmem/internal/mem"
+	"fsmem/internal/obs"
+	"fsmem/internal/prefetch"
+	"fsmem/internal/sched"
+	"fsmem/internal/stats"
+	"fsmem/internal/trace"
+	"fsmem/internal/workload"
+)
+
+// channelSeedStride separates per-channel seeds, matching the legacy
+// SimulateChannels derivation so colored fabric runs are byte-identical
+// to the old product-of-runs.
+const channelSeedStride = 0x9e3779b97f4a7c15
+
+// simChannel is one channel of the multi-channel fabric: a controller
+// with its own scheduler instance, clock, monitor, injector, and — under
+// colored routing — its own block of cores and spikes.
+type simChannel struct {
+	id   int
+	name string // per-channel workload label ("mix-ch2")
+	ctl  *mem.Controller
+	fs   *core.FS
+	mon  *fault.Monitor
+	inj  *fault.Injector
+
+	// Colored routing only: the cores and queue-pressure spikes of this
+	// channel's domain block (interleaved runs keep cores and spikes on
+	// the System, shared across channels).
+	cores  []*cpu.Core
+	spikes []*spikeState
+
+	// Colored routing only: the channel freezes — stops ticking — once
+	// its own domains complete target demand reads, exactly where the
+	// standalone single-channel run of the same block would stop.
+	target int64
+	frozen bool
+}
+
+// reads sums the channel's completed demand reads.
+func (ch *simChannel) reads() int64 {
+	var n int64
+	for d := range ch.ctl.Dom {
+		n += ch.ctl.Dom[d].Reads
+	}
+	return n
+}
+
+// newChannelPolicy builds one channel's scheduling policy over the given
+// domain count, seeded for that channel (FS static schedules are
+// independent per channel).
+func newChannelPolicy(cfg Config, domains int, seed uint64) (mem.Scheduler, *core.FS, error) {
+	switch cfg.Scheduler {
+	case Baseline:
+		b := sched.NewBaseline(cfg.DRAM, mem.DefaultConfig(domains))
+		b.RefreshEnabled = cfg.RefreshEnabled
+		return b, nil, nil
+	case TPBank, TPNone:
+		mode := sched.TPBankPartitioned
+		if cfg.Scheduler == TPNone {
+			mode = sched.TPNoPartitioning
+		}
+		turn := cfg.TPTurnLength
+		if turn == 0 {
+			turn = mode.MinTurnLength(cfg.DRAM)
+		}
+		tp, err := sched.NewTP(cfg.DRAM, mode, domains, turn)
+		if err != nil {
+			return nil, nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
+		}
+		return tp, nil, nil
+	default:
+		fs, err := core.NewFS(cfg.DRAM, core.Config{
+			Variant:        cfg.Scheduler.FSVariant(),
+			Domains:        domains,
+			Seed:           seed,
+			Energy:         cfg.Energy,
+			Weights:        cfg.SLAWeights,
+			RefreshEnabled: cfg.RefreshEnabled,
+			L:              cfg.FSSlotSpacing,
+		})
+		if err != nil {
+			return nil, nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
+		}
+		return fs, fs, nil
+	}
+}
+
+// buildSpikes constructs the queue-pressure spike states for one
+// simulated machine of the given domain count (a channel under colored
+// routing, the whole system under interleaved), mirroring the
+// single-channel construction bit for bit.
+func buildSpikes(cfg Config, domains int) ([]*spikeState, error) {
+	var out []*spikeState
+	for _, l := range cfg.Fault.Spikes() {
+		if l.Domain < 0 || l.Domain >= domains || l.Count <= 0 {
+			return nil, fsmerr.New(fsmerr.CodeFault, "sim.New",
+				"queue spike targets domain %d (of %d) with count %d", l.Domain, domains, l.Count)
+		}
+		sp := &spikeState{domain: l.Domain, at: l.AtCycle}
+		srng := trace.NewRNG(cfg.Fault.Seed ^ 0x73706b65 ^ uint64(l.Domain))
+		space, err := addr.SpaceFor(cfg.Scheduler.Partition(), l.Domain, domains, cfg.DRAM)
+		if err != nil {
+			return nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
+		}
+		for i := 0; i < l.Count; i++ {
+			sp.addrs = append(sp.addrs, dram.Address{
+				Rank: space.Ranks[srng.Intn(len(space.Ranks))],
+				Bank: space.Banks[srng.Intn(len(space.Banks))],
+				Row:  srng.Intn(cfg.DRAM.RowsPerBank),
+				Col:  srng.Intn(cfg.DRAM.ColsPerRow),
+			})
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// newMulti assembles an N-channel system. Under colored routing each
+// channel is the exact machine the legacy SimulateChannels product built
+// for its domain block — same controller sizing, scheduler seed, stream
+// seeds, monitor, and spikes — so per-channel results are byte-identical
+// to the standalone runs. Under interleaved routing every channel's
+// controller spans all domains and cores issue through the fabric's
+// address-based router.
+func newMulti(cfg Config, channels int) (*System, error) {
+	domains := len(cfg.Mix.Profiles)
+	s := &System{cfg: cfg}
+	colored := cfg.Routing == addr.RouteColored
+
+	chDomains := domains
+	per := domains
+	if colored {
+		per = domains / channels
+		chDomains = per
+	}
+
+	ctls := make([]*mem.Controller, channels)
+	for c := 0; c < channels; c++ {
+		seed := cfg.Seed + uint64(c)*channelSeedStride
+		policy, fs, err := newChannelPolicy(cfg, chDomains, seed)
+		if err != nil {
+			return nil, err
+		}
+		ctl := mem.NewController(cfg.DRAM, mem.DefaultConfig(chDomains), policy)
+		if cfg.Observe != nil {
+			ctl.Obs = obs.NewTracer(cfg.Observe)
+			ctl.Obs.SetChannel(c)
+		}
+		if cfg.Prefetch {
+			ctl.EnablePrefetch(func(int) *prefetch.Sandbox { return prefetch.New(cfg.DRAM) })
+		}
+		ch := &simChannel{
+			id:   c,
+			name: fmt.Sprintf("%s-ch%d", cfg.Mix.Name, c),
+			ctl:  ctl,
+			fs:   fs,
+		}
+		ch.mon = fault.NewMonitor(cfg.DRAM, chDomains)
+		if cfg.Scheduler.IsFS() {
+			ch.mon.EnableScheduleCheck()
+		}
+		if cfg.Fault != nil {
+			ch.mon.ApplyDerates(cfg.Fault.Derates)
+			inj := fault.NewInjector(cfg.Fault, cfg.DRAM)
+			if inj.Active() {
+				ch.inj = inj
+				ctl.AttachInjector(inj)
+			}
+			if colored {
+				// Each channel runs the full fault plan against its own
+				// block, as the legacy product-of-runs did.
+				spikes, err := buildSpikes(cfg, per)
+				if err != nil {
+					return nil, err
+				}
+				ch.spikes = spikes
+			}
+		}
+		ctl.AttachMonitor(ch.mon)
+		if colored && cfg.TargetReads > 0 {
+			ch.target = cfg.TargetReads
+		}
+		ctls[c] = ctl
+		s.chans = append(s.chans, ch)
+	}
+	if cfg.Fault != nil && !colored {
+		spikes, err := buildSpikes(cfg, domains)
+		if err != nil {
+			return nil, err
+		}
+		s.spikes = spikes
+	}
+	s.fabric = mem.NewFabric(ctls, cfg.Routing, domains)
+
+	if colored {
+		// Stream seeds are drawn per channel in local-domain order from
+		// the channel's own RNG — the standalone sub-run's derivation.
+		for c, ch := range s.chans {
+			rng := trace.NewRNG(cfg.Seed + uint64(c)*channelSeedStride)
+			for d := 0; d < per; d++ {
+				global := c*per + d
+				space, err := addr.SpaceFor(cfg.Scheduler.Partition(), d, per, cfg.DRAM)
+				if err != nil {
+					return nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
+				}
+				var stream trace.Stream
+				seed := rng.Uint64()
+				if cfg.StreamFactory != nil {
+					stream = cfg.StreamFactory(d, space, seed)
+				} else {
+					stream = workloadStream(cfg, global, space, seed)
+				}
+				stream = cfg.Fault.StreamFor(d, stream)
+				ch.cores = append(ch.cores, cpu.NewCore(global, stream, s.fabric, &ch.ctl.Dom[d]))
+			}
+		}
+		return s, nil
+	}
+
+	// Interleaved: global cores issue into the fabric; their CPU-side
+	// stats live in a system-owned accumulator (each channel's controller
+	// keeps the memory-side fields for the traffic it serviced).
+	s.coreStats = make([]stats.Domain, domains)
+	rng := trace.NewRNG(cfg.Seed)
+	for d := 0; d < domains; d++ {
+		space, err := addr.SpaceFor(cfg.Scheduler.Partition(), d, domains, cfg.DRAM)
+		if err != nil {
+			return nil, fsmerr.Wrap(fsmerr.CodeConfig, "sim.New", err)
+		}
+		var stream trace.Stream
+		seed := rng.Uint64()
+		if cfg.StreamFactory != nil {
+			stream = cfg.StreamFactory(d, space, seed)
+		} else {
+			stream = workloadStream(cfg, d, space, seed)
+		}
+		stream = cfg.Fault.StreamFor(d, stream)
+		s.cores = append(s.cores, cpu.NewCore(d, stream, s.fabric, &s.coreStats[d]))
+	}
+	return s, nil
+}
+
+// stepMulti advances the whole fabric by one bus cycle: every active
+// channel ticks, then every active core runs its CPU cycles. Frozen
+// colored channels (target met) no longer tick, exactly as a finished
+// standalone run would have stopped.
+func (s *System) stepMulti() {
+	for _, ch := range s.chans {
+		if !ch.frozen {
+			ch.ctl.Tick()
+		}
+	}
+	for cc := 0; cc < s.cfg.DRAM.CPUCyclesPerBusCycle; cc++ {
+		for _, ch := range s.chans {
+			if ch.frozen {
+				continue
+			}
+			for _, c := range ch.cores {
+				c.Cycle()
+			}
+		}
+		for _, c := range s.cores {
+			c.Cycle()
+		}
+	}
+	s.clock++
+}
+
+// horizonMulti folds every active channel's NextEvent, pending spikes,
+// and every active core's next memory interaction into one fast-forward
+// horizon — the multi-channel extension of horizon(), with the same
+// early-never-late obligation per component.
+func (s *System) horizonMulti(max int64) int64 {
+	now := s.clock
+	h := max
+	spikeBound := func(spikes []*spikeState) bool {
+		for _, sp := range spikes {
+			if sp.next >= len(sp.addrs) {
+				continue
+			}
+			if sp.at <= now {
+				return false
+			}
+			if sp.at < h {
+				h = sp.at
+			}
+		}
+		return true
+	}
+	cpb := int64(s.cfg.DRAM.CPUCyclesPerBusCycle)
+	coreBound := func(cores []*cpu.Core) bool {
+		for _, c := range cores {
+			k := c.NextInteraction()
+			if k == cpu.Forever {
+				continue
+			}
+			hc := now + (k-1)/cpb
+			if hc <= now {
+				return false
+			}
+			if hc < h {
+				h = hc
+			}
+		}
+		return true
+	}
+	for _, ch := range s.chans {
+		if ch.frozen {
+			continue
+		}
+		hc := ch.ctl.NextEvent()
+		if hc <= now {
+			return now
+		}
+		if hc < h {
+			h = hc
+		}
+		if !spikeBound(ch.spikes) || !coreBound(ch.cores) {
+			return now
+		}
+	}
+	if !spikeBound(s.spikes) || !coreBound(s.cores) {
+		return now
+	}
+	if h > max {
+		h = max
+	}
+	return h
+}
+
+// skipToMulti jumps the master clock and every active channel and core to
+// h, the multi-channel counterpart of skipTo.
+func (s *System) skipToMulti(h int64) {
+	n := h - s.clock
+	nc := n * int64(s.cfg.DRAM.CPUCyclesPerBusCycle)
+	for _, ch := range s.chans {
+		if ch.frozen {
+			continue
+		}
+		ch.ctl.AdvanceIdle(n)
+		for _, c := range ch.cores {
+			c.Skip(nc)
+		}
+	}
+	for _, c := range s.cores {
+		c.Skip(nc)
+	}
+	s.clock = h
+	s.ffJumps++
+	s.ffSkipped += n
+}
+
+// pumpSpikesMulti force-feeds due queue-pressure spikes: colored spikes
+// go straight into their channel's controller (local domains), global
+// interleaved spikes route through the fabric.
+func (s *System) pumpSpikesMulti() {
+	for _, ch := range s.chans {
+		if ch.frozen {
+			continue
+		}
+		for _, sp := range ch.spikes {
+			if s.clock < sp.at {
+				continue
+			}
+			for sp.next < len(sp.addrs) && ch.ctl.EnqueueRead(sp.domain, sp.addrs[sp.next], nil) {
+				sp.next++
+			}
+		}
+	}
+	for _, sp := range s.spikes {
+		if s.clock < sp.at {
+			continue
+		}
+		for sp.next < len(sp.addrs) && s.fabric.EnqueueRead(sp.domain, sp.addrs[sp.next], nil) {
+			sp.next++
+		}
+	}
+}
+
+// freezeAndDone freezes colored channels whose read target was met this
+// cycle and reports whether every channel is frozen (run complete).
+func (s *System) freezeAndDone() bool {
+	done := true
+	for _, ch := range s.chans {
+		if ch.frozen {
+			continue
+		}
+		if ch.target > 0 && ch.reads() >= ch.target {
+			ch.frozen = true
+			continue
+		}
+		done = false
+	}
+	return done
+}
+
+// totalReadsMulti sums completed demand reads across all channels.
+func (s *System) totalReadsMulti() int64 {
+	var n int64
+	for _, ch := range s.chans {
+		n += ch.reads()
+	}
+	return n
+}
+
+// runMulti is the multi-channel RunContext body: the same
+// watchdog/poll/fast-forward skeleton as the single-channel loop, with
+// lockstep channel clocks, per-channel freezing under colored routing,
+// and a global read target under interleaved routing.
+func (s *System) runMulti(ctx context.Context) Result {
+	max := s.cfg.MaxBusCycles
+	if max == 0 {
+		max = 40_000_000
+	}
+	ff := !s.cfg.DenseLoop && !envDense
+	colored := s.fabric.Routing() == addr.RouteColored
+	var truncReason string
+	start := time.Now()
+	var nextPoll int64
+loop:
+	for {
+		if s.clock >= max {
+			if s.cfg.TargetReads > 0 {
+				truncReason = fmt.Sprintf("max-cycle watchdog: %d bus cycles without reaching %d reads",
+					max, s.cfg.TargetReads)
+			}
+			break
+		}
+		if s.clock >= nextPoll {
+			nextPoll = s.clock - s.clock%8192 + 8192
+			if s.cfg.WallClockBudget > 0 && time.Since(start) > s.cfg.WallClockBudget {
+				truncReason = fmt.Sprintf("wall-clock budget %v exhausted at bus cycle %d",
+					s.cfg.WallClockBudget, s.clock)
+				break
+			}
+			select {
+			case <-ctx.Done():
+				truncReason = fmt.Sprintf("context canceled at bus cycle %d: %v", s.clock, ctx.Err())
+				break loop
+			default:
+			}
+		}
+		if ff {
+			if h := s.horizonMulti(max); h > s.clock {
+				s.skipToMulti(h)
+				if s.clock >= max {
+					continue
+				}
+			}
+		}
+		s.pumpSpikesMulti()
+		s.stepMulti()
+		if colored {
+			if s.freezeAndDone() {
+				break
+			}
+		} else if s.cfg.TargetReads > 0 && s.totalReadsMulti() >= s.cfg.TargetReads {
+			break
+		}
+	}
+	return s.collectMulti(colored, truncReason)
+}
+
+// collectMulti assembles per-channel Results and the merged top-level
+// Result. The merged Run reports BusCycles as the wall-clock span (the
+// max across channels), the per-channel cycle counts in ChannelCycles,
+// and every hardware counter summed — see stats.Run.
+func (s *System) collectMulti(colored bool, truncReason string) Result {
+	domains := len(s.cfg.Mix.Profiles)
+	channels := len(s.chans)
+	var res Result
+
+	merged := stats.Run{Workload: s.cfg.Mix.Name}
+	if colored {
+		merged.Scheduler = fmt.Sprintf("%dch/%s", channels, s.cfg.Scheduler)
+	} else {
+		merged.Scheduler = fmt.Sprintf("%dch-interleaved/%s", channels, s.cfg.Scheduler)
+	}
+
+	var reports []*fault.Report
+	var fsTotal *core.FSStats
+	for _, ch := range s.chans {
+		cres := Result{
+			Run: stats.Run{
+				Scheduler: ch.ctl.Scheduler().Name(),
+				Workload:  ch.name,
+				BusCycles: ch.ctl.Cycle,
+				Domains:   append([]stats.Domain(nil), ch.ctl.Dom...),
+				Channel:   ch.ctl.Chan.Counters,
+				Latency:   ch.ctl.LatHist,
+			},
+			Monitor: ch.mon.Finalize(ch.inj),
+		}
+		if ch.fs != nil {
+			st := ch.fs.Stats
+			cres.FS = &st
+			if fsTotal == nil {
+				fsTotal = &core.FSStats{PowerDownCycles: make([]int64, len(st.PowerDownCycles))}
+			}
+			fsTotal.RowHitBoosts += st.RowHitBoosts
+			fsTotal.PowerDownSlots += st.PowerDownSlots
+			for r := range st.PowerDownCycles {
+				fsTotal.PowerDownCycles[r] += st.PowerDownCycles[r]
+			}
+		}
+		if colored && !ch.frozen && truncReason != "" {
+			cres.Truncated = true
+			cres.TruncateReason = truncReason
+		}
+		reports = append(reports, cres.Monitor)
+		res.PerChannel = append(res.PerChannel, cres)
+
+		merged.ChannelCycles = append(merged.ChannelCycles, ch.ctl.Cycle)
+		if ch.ctl.Cycle > merged.BusCycles {
+			merged.BusCycles = ch.ctl.Cycle
+		}
+		merged.Channel.Add(ch.ctl.Chan.Counters)
+	}
+
+	if colored {
+		for _, ch := range s.chans {
+			merged.Domains = append(merged.Domains, ch.ctl.Dom...)
+			merged.Latency = append(merged.Latency, ch.ctl.LatHist...)
+		}
+	} else {
+		merged.Domains = make([]stats.Domain, domains)
+		merged.Latency = make([]*stats.Histogram, domains)
+		for d := 0; d < domains; d++ {
+			dom := s.coreStats[d]
+			h := stats.NewLatencyHistogram()
+			for _, ch := range s.chans {
+				dom.Add(ch.ctl.Dom[d])
+				// Same fixed bucketing everywhere; Merge cannot fail.
+				_ = h.Merge(ch.ctl.LatHist[d])
+			}
+			merged.Domains[d] = dom
+			merged.Latency[d] = h
+		}
+	}
+
+	res.Run = merged
+	res.FS = fsTotal
+	res.Monitor = mergeReports(reports, colored, domains/max1(channels, colored))
+	if truncReason != "" {
+		res.Truncated = true
+		res.TruncateReason = truncReason
+	}
+	if s.cfg.Observe != nil {
+		tracers := make([]*obs.Tracer, channels)
+		for c, ch := range s.chans {
+			tracers[c] = ch.ctl.Obs
+		}
+		res.Trace = obs.Merge(tracers...)
+		res.Metrics = s.buildMetricsMulti(&res, merged)
+	}
+	return res
+}
+
+func max1(channels int, colored bool) int {
+	if colored {
+		return channels
+	}
+	return 1
+}
+
+// mergeReports folds per-channel monitor reports into one system report:
+// counters sum, structured violations and per-domain trace hashes
+// concatenate (colored channel order is global domain order), the
+// unattributed-command hash is FNV-folded across channels, and faulted
+// domains are remapped to global ids and deduplicated.
+func mergeReports(rs []*fault.Report, colored bool, perChannel int) *fault.Report {
+	m := &fault.Report{}
+	faulted := map[int]bool{}
+	for c, r := range rs {
+		m.Commands += r.Commands
+		m.TimingViolations += r.TimingViolations
+		m.ScheduleViolations += r.ScheduleViolations
+		m.SchedulerViolations += r.SchedulerViolations
+		m.Violations = append(m.Violations, r.Violations...)
+		m.DomainTraces = append(m.DomainTraces, r.DomainTraces...)
+		m.DomainBusTraces = append(m.DomainBusTraces, r.DomainBusTraces...)
+		m.OtherTrace = m.OtherTrace*1099511628211 ^ r.OtherTrace
+		m.Injected.Drops += r.Injected.Drops
+		m.Injected.Delays += r.Injected.Delays
+		m.Injected.Duplicates += r.Injected.Duplicates
+		m.Injected.Extras += r.Injected.Extras
+		m.Injected.ReplayRejects += r.Injected.ReplayRejects
+		for _, d := range r.FaultedDomains {
+			if colored {
+				d += c * perChannel
+			}
+			faulted[d] = true
+		}
+	}
+	for d := range faulted {
+		m.FaultedDomains = append(m.FaultedDomains, d)
+	}
+	sort.Ints(m.FaultedDomains)
+	return m
+}
+
+// buildMetricsMulti assembles the multi-channel observability snapshot:
+// system-wide counters under "sim", each channel's hardware and
+// controller sources under a "chN." prefix, merged per-domain stats under
+// the usual global "domN" names, and the merged monitor.
+func (s *System) buildMetricsMulti(res *Result, merged stats.Run) obs.Snapshot {
+	reg := obs.NewRegistry()
+	reg.Source("sim", obs.SourceFunc(func(emit func(string, float64)) {
+		emit("bus_cycles", float64(s.clock))
+		truncated := 0.0
+		if res.Truncated {
+			truncated = 1
+		}
+		emit("truncated", truncated)
+		emit("channels", float64(len(s.chans)))
+		emit("trace_events", float64(len(res.Trace.Events())))
+		emit("trace_dropped", float64(res.Trace.Dropped()))
+	}))
+	for c, ch := range s.chans {
+		reg.Source(fmt.Sprintf("ch%d.dram", c), ch.ctl.Chan.Counters)
+		reg.Source(fmt.Sprintf("ch%d.mem", c), ch.ctl)
+		if ch.fs != nil {
+			reg.Source(fmt.Sprintf("ch%d.fs", c), ch.fs)
+		} else if src, ok := ch.ctl.Scheduler().(obs.MetricSource); ok {
+			reg.Source(fmt.Sprintf("ch%d.sched", c), src)
+		}
+	}
+	for d := range merged.Domains {
+		reg.Source(fmt.Sprintf("dom%d", d), merged.Domains[d])
+	}
+	reg.Source("monitor", res.Monitor)
+	return reg.Snapshot()
+}
+
+// workloadStream builds the default synthetic generator for one global
+// domain (split out so colored and interleaved construction share it).
+func workloadStream(cfg Config, globalDomain int, space addr.Space, seed uint64) trace.Stream {
+	return workload.NewGenerator(cfg.Mix.Profiles[globalDomain], space, cfg.DRAM, seed)
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fsmem/internal/addr"
+	"fsmem/internal/fsmerr"
+	"fsmem/internal/workload"
+)
+
+// legacyProduct reimplements the pre-fabric SimulateChannels semantics —
+// N fully independent single-channel runs over contiguous domain blocks —
+// as the reference the colored fabric must reproduce byte for byte.
+func legacyProduct(t *testing.T, cfg Config, channels int) []Result {
+	t.Helper()
+	per := len(cfg.Mix.Profiles) / channels
+	results := make([]Result, channels)
+	for c := 0; c < channels; c++ {
+		sub := cfg
+		sub.Channels = 0
+		sub.Routing = 0
+		sub.Mix = workload.Mix{
+			Name:     fmt.Sprintf("%s-ch%d", cfg.Mix.Name, c),
+			Profiles: cfg.Mix.Profiles[c*per : (c+1)*per],
+		}
+		sub.Seed = cfg.Seed + uint64(c)*channelSeedStride
+		res, err := Simulate(sub)
+		if err != nil {
+			t.Fatalf("legacy channel %d: %v", c, err)
+		}
+		results[c] = res
+	}
+	return results
+}
+
+// TestColoredFabricMatchesLegacyProduct pins the refactor's central
+// correctness anchor: under colored routing every per-channel Result of
+// the fabric is byte-identical to the standalone single-channel
+// simulation of the same domain block (the legacy SimulateChannels
+// product-of-runs).
+func TestColoredFabricMatchesLegacyProduct(t *testing.T) {
+	cases := []struct {
+		sched    SchedulerKind
+		cores    int
+		channels int
+	}{
+		{FSRankPart, 8, 2},
+		{FSReorderedBank, 8, 2},
+		{Baseline, 8, 2},
+		{TPBank, 8, 2},
+		{FSRankPart, 16, 4},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s-%dch", tc.sched, tc.channels), func(t *testing.T) {
+			mix, err := workload.Rate("milc", tc.cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig(mix, tc.sched)
+			cfg.TargetReads = 600
+			want := legacyProduct(t, cfg, tc.channels)
+
+			cfg.Channels = tc.channels
+			cfg.Routing = addr.RouteColored
+			got, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.PerChannel) != tc.channels {
+				t.Fatalf("PerChannel = %d results, want %d", len(got.PerChannel), tc.channels)
+			}
+			for c := range want {
+				if !reflect.DeepEqual(got.PerChannel[c], want[c]) {
+					t.Errorf("channel %d result diverges from the legacy standalone run:\n got %+v\nwant %+v",
+						c, got.PerChannel[c].Run, want[c].Run)
+				}
+			}
+			// The merged view concatenates domain blocks in channel order
+			// and reports the wall-clock span plus per-channel cycles.
+			var wantBus int64
+			for c, w := range want {
+				if w.Run.BusCycles > wantBus {
+					wantBus = w.Run.BusCycles
+				}
+				if got.Run.ChannelCycles[c] != w.Run.BusCycles {
+					t.Errorf("ChannelCycles[%d] = %d, want %d", c, got.Run.ChannelCycles[c], w.Run.BusCycles)
+				}
+			}
+			if got.Run.BusCycles != wantBus {
+				t.Errorf("merged BusCycles = %d, want max %d", got.Run.BusCycles, wantBus)
+			}
+			per := tc.cores / tc.channels
+			for c, w := range want {
+				for d, dom := range w.Run.Domains {
+					if got.Run.Domains[c*per+d] != dom {
+						t.Errorf("merged domain %d diverges", c*per+d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSimulateChannelsDelegatesToFabric: the wrapper and the direct
+// fabric configuration are the same computation.
+func TestSimulateChannelsDelegatesToFabric(t *testing.T) {
+	mix, err := workload.Rate("milc", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(mix, FSRankPart)
+	cfg.TargetReads = 600
+	merged, per, err := SimulateChannels(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Channels = 2
+	cfg.Routing = addr.RouteColored
+	direct, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, direct.Run) {
+		t.Error("SimulateChannels merged Run differs from the fabric Run")
+	}
+	if !reflect.DeepEqual(per, direct.PerChannel) {
+		t.Error("SimulateChannels per-channel results differ from the fabric's")
+	}
+}
+
+// TestInterleavedFabric exercises the genuinely shared mode: every
+// domain's lines stripe across all channels, so every channel services
+// every domain and the merged statistics still account for each read
+// exactly once.
+func TestInterleavedFabric(t *testing.T) {
+	for _, kind := range []SchedulerKind{Baseline, FSRankPart} {
+		t.Run(kind.String(), func(t *testing.T) {
+			mix, err := workload.Rate("milc", 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig(mix, kind)
+			cfg.TargetReads = 800
+			cfg.Channels = 2
+			cfg.Routing = addr.RouteInterleaved
+			res, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Truncated {
+				t.Fatalf("truncated: %s", res.TruncateReason)
+			}
+			if got := res.Run.TotalReads(); got < 800 {
+				t.Errorf("merged reads = %d, want >= 800", got)
+			}
+			if len(res.Run.Domains) != 8 {
+				t.Fatalf("merged domains = %d, want 8", len(res.Run.Domains))
+			}
+			for d, dom := range res.Run.Domains {
+				if dom.IPC() <= 0 {
+					t.Errorf("domain %d idle (ipc=0)", d)
+				}
+				if dom.Reads == 0 {
+					t.Errorf("domain %d completed no reads", d)
+				}
+			}
+			// Both channels must actually service traffic: striping by
+			// column bits splits every domain's stream.
+			for c, cres := range res.PerChannel {
+				var reads int64
+				for _, dom := range cres.Run.Domains {
+					reads += dom.Reads
+				}
+				if reads == 0 {
+					t.Errorf("channel %d serviced no reads under interleaved routing", c)
+				}
+			}
+			// Each read is counted once: per-channel sums equal the merged total.
+			var sum int64
+			for _, cres := range res.PerChannel {
+				for _, dom := range cres.Run.Domains {
+					sum += dom.Reads
+				}
+			}
+			if sum != res.Run.TotalReads() {
+				t.Errorf("per-channel reads sum %d != merged %d", sum, res.Run.TotalReads())
+			}
+		})
+	}
+}
+
+// TestFabricConfigErrors pins the typed rejection of inconsistent
+// channel configurations.
+func TestFabricConfigErrors(t *testing.T) {
+	mix, err := workload.Rate("milc", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, cfg Config) {
+		t.Helper()
+		_, err := New(cfg)
+		if err == nil {
+			t.Fatalf("%s: config accepted, want CodeConfig error", name)
+		}
+		if fsmerr.CodeOf(err) != fsmerr.CodeConfig {
+			t.Fatalf("%s: got %v, want typed CodeConfig error", name, err)
+		}
+	}
+	cfg := DefaultConfig(mix, FSRankPart)
+	cfg.Channels = 4
+	cfg.Routing = addr.RouteColored
+	check("uneven colored split", cfg) // 6 domains over 4 channels
+
+	cfg = DefaultConfig(mix, FSRankPart)
+	cfg.Channels = 2
+	cfg.DRAM.Channels = 4
+	check("Channels vs DRAM.Channels mismatch", cfg)
+
+	cfg = DefaultConfig(mix, FSRankPart)
+	cfg.Channels = -1
+	check("negative channels", cfg)
+}
+
+// TestDRAMChannelsSelectsFabricWidth: dram.Params.Channels is no longer
+// validated-but-ignored; it selects the fabric width when Config.Channels
+// is unset.
+func TestDRAMChannelsSelectsFabricWidth(t *testing.T) {
+	mix, err := workload.Rate("milc", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(mix, FSRankPart)
+	cfg.DRAM.Channels = 2
+	cfg.TargetReads = 200
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Channels() != 2 {
+		t.Fatalf("Channels() = %d, want 2 (from DRAM.Channels)", sys.Channels())
+	}
+	if sys.Fabric() == nil || sys.Fabric().Channels() != 2 {
+		t.Fatal("fabric not constructed from DRAM.Channels")
+	}
+}

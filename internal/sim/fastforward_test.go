@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/core"
 	"fsmem/internal/dram"
 	"fsmem/internal/fault"
@@ -46,6 +48,15 @@ func diffLoops(t *testing.T, cfg Config) {
 		t.Errorf("truncation diverged: dense (%v, %q) vs fast (%v, %q)",
 			a.Truncated, a.TruncateReason, b.Truncated, b.TruncateReason)
 	}
+	if len(a.PerChannel) != len(b.PerChannel) {
+		t.Fatalf("per-channel result counts diverged: dense %d vs fast %d", len(a.PerChannel), len(b.PerChannel))
+	}
+	for c := range a.PerChannel {
+		if !reflect.DeepEqual(a.PerChannel[c], b.PerChannel[c]) {
+			t.Errorf("channel %d result diverged between loops:\ndense %+v\nfast  %+v",
+				c, a.PerChannel[c].Run, b.PerChannel[c].Run)
+		}
+	}
 	if cfg.Observe != nil {
 		if !reflect.DeepEqual(a.Metrics, b.Metrics) {
 			t.Error("metrics snapshots diverged between loops")
@@ -83,6 +94,95 @@ func TestFastForwardEquivalence(t *testing.T) {
 				diffLoops(t, cfg)
 			})
 		}
+	}
+}
+
+// TestFastForwardEquivalenceMultiChannel extends the dense-vs-fast-forward
+// proof obligation to the fabric: 2- and 4-channel systems in both routing
+// modes must produce byte-identical merged AND per-channel Results under
+// either loop. Multi-channel horizons fold every channel's NextEvent and
+// every core's next interaction into one jump; a single late component
+// would shift cycles on one channel and show up here.
+func TestFastForwardEquivalenceMultiChannel(t *testing.T) {
+	for _, mixName := range []string{"milc", "xalancbmk"} {
+		mix, err := workload.Rate(mixName, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, channels := range []int{2, 4} {
+			for _, routing := range []addr.Routing{addr.RouteColored, addr.RouteInterleaved} {
+				for _, k := range []SchedulerKind{Baseline, TPBank, FSRankPart, FSReorderedBank} {
+					channels, routing, k := channels, routing, k
+					name := fmt.Sprintf("%s/%dch-%s/%s", mixName, channels, routing, k)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						cfg := DefaultConfig(mix, k)
+						cfg.TargetReads = 600
+						cfg.Channels = channels
+						cfg.Routing = routing
+						cfg.Observe = &obs.Options{}
+						diffLoops(t, cfg)
+					})
+				}
+			}
+		}
+	}
+}
+
+// FuzzFabricFastForward fuzzes the multi-channel equivalence over seeds,
+// widths, routing modes, and scheduler kinds with a small read budget —
+// the sim-level counterpart of cpu.FuzzNextEvent's fanout mode.
+func FuzzFabricFastForward(f *testing.F) {
+	f.Add(uint64(1), uint8(0), false, uint8(0))
+	f.Add(uint64(2), uint8(0), true, uint8(2))
+	f.Add(uint64(3), uint8(1), false, uint8(2))
+	f.Add(uint64(0xfab), uint8(1), true, uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, width uint8, interleaved bool, sched uint8) {
+		kinds := []SchedulerKind{Baseline, TPBank, FSRankPart}
+		mix, err := workload.Rate("xalancbmk", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(mix, kinds[int(sched)%len(kinds)])
+		cfg.Seed = seed
+		cfg.TargetReads = 200
+		cfg.MaxBusCycles = 2_000_000
+		cfg.Channels = []int{2, 4}[int(width)%2]
+		cfg.Routing = addr.RouteColored
+		if interleaved {
+			cfg.Routing = addr.RouteInterleaved
+		}
+		diffLoops(t, cfg)
+	})
+}
+
+// TestFastForwardActuallySkipsMultiChannel is the fabric's anti-vacuity
+// guard: on an idle-heavy mix the multi-channel kernel must genuinely
+// jump, in both routing modes, or the equivalence suite above proves
+// nothing.
+func TestFastForwardActuallySkipsMultiChannel(t *testing.T) {
+	mix, err := workload.Rate("xalancbmk", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, routing := range []addr.Routing{addr.RouteColored, addr.RouteInterleaved} {
+		routing := routing
+		t.Run(routing.String(), func(t *testing.T) {
+			cfg := DefaultConfig(mix, FSRankPart)
+			cfg.TargetReads = 1500
+			cfg.Channels = 2
+			cfg.Routing = routing
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := s.Run()
+			jumps, skipped := s.FastForward()
+			if jumps == 0 || skipped == 0 {
+				t.Errorf("multi-channel fast-forward never skipped (jumps=%d skipped=%d over %d bus cycles)",
+					jumps, skipped, res.Run.BusCycles)
+			}
+		})
 	}
 }
 

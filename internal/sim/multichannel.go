@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"fsmem/internal/addr"
 	"fsmem/internal/stats"
 	"fsmem/internal/workload"
 )
@@ -10,13 +11,22 @@ import (
 // SimulateChannels runs the paper's full target system: a multi-channel
 // processor (4 channels, 32 cores in Section 6) in which each channel is
 // page-colored to a disjoint set of security domains and runs its own
-// scheduler instance. Channels share no hardware, so the system is the
-// product of independent per-channel simulations — which is exactly why
-// channel partitioning has no timing channel (Section 4.1).
+// scheduler instance. It is now a thin wrapper over the colored-routing
+// fabric (Config.Channels + addr.RouteColored), which reproduces the old
+// product-of-independent-runs byte for byte — channels share no hardware,
+// which is exactly why channel partitioning has no timing channel
+// (Section 4.1).
 //
 // Domains are assigned to channels in contiguous blocks. The per-channel
 // read target is cfg.TargetReads (each channel simulates the same work the
 // single-channel experiments do).
+//
+// The merged Run reports BusCycles as the longest channel's cycle count
+// (the wall-clock span), each channel's own count in ChannelCycles, and
+// every hardware counter summed across channels; ratio metrics like
+// BusUtilization divide by the summed per-channel cycles. (The legacy
+// merge summed only a subset of counters against the max cycle count,
+// which made merged utilization inconsistent.)
 func SimulateChannels(cfg Config, channels int) (stats.Run, []Result, error) {
 	domains := len(cfg.Mix.Profiles)
 	if channels <= 0 {
@@ -25,35 +35,31 @@ func SimulateChannels(cfg Config, channels int) (stats.Run, []Result, error) {
 	if domains%channels != 0 {
 		return stats.Run{}, nil, fmt.Errorf("sim: %d domains do not split evenly over %d channels", domains, channels)
 	}
-	per := domains / channels
-	results := make([]Result, channels)
-	merged := stats.Run{
-		Scheduler: fmt.Sprintf("%dch/%s", channels, cfg.Scheduler),
-		Workload:  cfg.Mix.Name,
-	}
-	for c := 0; c < channels; c++ {
+	if channels == 1 {
+		// One channel is the plain single-channel machine under the
+		// legacy per-channel labels (the "-ch0" mix and "1ch/" scheduler
+		// prefix predate the fabric; callers parse them).
 		sub := cfg
+		sub.Channels = 1
 		sub.Mix = workload.Mix{
-			Name:     fmt.Sprintf("%s-ch%d", cfg.Mix.Name, c),
-			Profiles: cfg.Mix.Profiles[c*per : (c+1)*per],
+			Name:     fmt.Sprintf("%s-ch0", cfg.Mix.Name),
+			Profiles: cfg.Mix.Profiles,
 		}
-		sub.Seed = cfg.Seed + uint64(c)*0x9e3779b97f4a7c15
 		res, err := Simulate(sub)
 		if err != nil {
-			return stats.Run{}, nil, fmt.Errorf("channel %d: %w", c, err)
+			return stats.Run{}, nil, fmt.Errorf("channel 0: %w", err)
 		}
-		results[c] = res
-		merged.Domains = append(merged.Domains, res.Run.Domains...)
-		if res.Run.BusCycles > merged.BusCycles {
-			merged.BusCycles = res.Run.BusCycles
-		}
-		merged.Channel.Acts += res.Run.Channel.Acts
-		merged.Channel.Reads += res.Run.Channel.Reads
-		merged.Channel.Writes += res.Run.Channel.Writes
-		merged.Channel.Precharges += res.Run.Channel.Precharges
-		merged.Channel.Refreshes += res.Run.Channel.Refreshes
-		merged.Channel.DataBusBusy += res.Run.Channel.DataBusBusy
-		merged.Channel.CmdBusBusy += res.Run.Channel.CmdBusBusy
+		merged := res.Run
+		merged.Scheduler = fmt.Sprintf("1ch/%s", cfg.Scheduler)
+		merged.Workload = cfg.Mix.Name
+		merged.ChannelCycles = []int64{res.Run.BusCycles}
+		return merged, []Result{res}, nil
 	}
-	return merged, results, nil
+	cfg.Channels = channels
+	cfg.Routing = addr.RouteColored
+	res, err := Simulate(cfg)
+	if err != nil {
+		return stats.Run{}, nil, err
+	}
+	return res.Run, res.PerChannel, nil
 }

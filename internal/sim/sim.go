@@ -100,6 +100,20 @@ type Config struct {
 	Mix       workload.Mix
 	Scheduler SchedulerKind
 
+	// Channels selects the memory-fabric width: how many independent
+	// channel controllers the system instantiates, each with its own
+	// scheduler instance and clock. 0 defers to DRAM.Channels (1 in the
+	// stock geometries); both >1 and disagreeing is a configuration
+	// error. With one channel the system is the classic single-controller
+	// machine, byte-identical to the pre-fabric simulator.
+	Channels int
+	// Routing selects how requests map to channels when Channels > 1:
+	// addr.RouteColored page-colors contiguous domain blocks onto
+	// dedicated channels (no cross-domain sharing, Section 4.1);
+	// addr.RouteInterleaved stripes every domain across all channels by
+	// address bits (channels become shared, contended resources).
+	Routing addr.Routing
+
 	// TPTurnLength sets the TP turn in bus cycles (0 = the mode's minimum,
 	// the best configuration per Figure 5).
 	TPTurnLength int64
@@ -203,8 +217,16 @@ type Result struct {
 	// Config.Observe was set).
 	Metrics obs.Snapshot
 	// Trace is the bounded command/event trace (nil unless Config.Observe
-	// was set). Export it with obs.WriteJSONL or obs.WriteChrome.
+	// was set). Export it with obs.WriteJSONL or obs.WriteChrome. In a
+	// multi-channel run the per-channel traces are merged by cycle, with
+	// each event's Chan field naming its channel.
 	Trace *obs.Tracer
+
+	// PerChannel holds each channel's own Result in a multi-channel run
+	// (nil for single-channel runs). Under colored routing every entry is
+	// byte-identical to the standalone single-channel simulation of that
+	// channel's domain block — the legacy SimulateChannels semantics.
+	PerChannel []Result
 }
 
 // spikeState tracks one pending queue-pressure spike: extra demand reads
@@ -227,6 +249,14 @@ type System struct {
 	inj    *fault.Injector
 	spikes []*spikeState
 
+	// Multi-channel fabric mode (nil/empty when Channels <= 1; the
+	// single-channel fields above are unused then, keeping the classic
+	// path untouched). See fabric.go.
+	fabric    *mem.Fabric
+	chans     []*simChannel
+	coreStats []stats.Domain // interleaved mode: CPU-side per-domain stats
+	clock     int64          // master bus-cycle clock across channels
+
 	// Fast-forward kernel accounting (see FastForward). Deliberately kept
 	// out of the obs snapshot: Results must stay byte-identical between
 	// dense and fast-forward runs, and these counters differ by definition.
@@ -248,6 +278,13 @@ func New(cfg Config) (*System, error) {
 		if err := p.Validate(); err != nil {
 			return nil, fsmerr.Wrap(fsmerr.CodeWorkload, "sim.New", err)
 		}
+	}
+	channels, err := cfg.channels()
+	if err != nil {
+		return nil, err
+	}
+	if channels > 1 {
+		return newMulti(cfg, channels)
 	}
 
 	var policy mem.Scheduler
@@ -356,8 +393,63 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// Controller exposes the memory controller (for examples and tests).
+// channels resolves the effective fabric width from Config.Channels and
+// DRAM.Channels, rejecting a disagreement and (under colored routing) a
+// domain count that does not split evenly over the channels.
+func (cfg Config) channels() (int, error) {
+	n := cfg.Channels
+	if n < 0 {
+		return 0, fsmerr.New(fsmerr.CodeConfig, "sim.New", "channels must be non-negative, got %d", n)
+	}
+	if n == 0 {
+		n = cfg.DRAM.Channels
+	} else if cfg.DRAM.Channels > 1 && cfg.DRAM.Channels != n {
+		return 0, fsmerr.New(fsmerr.CodeConfig, "sim.New",
+			"Config.Channels=%d disagrees with DRAM.Channels=%d", n, cfg.DRAM.Channels)
+	}
+	if n <= 1 {
+		return 1, nil
+	}
+	if cfg.Routing == addr.RouteColored && len(cfg.Mix.Profiles)%n != 0 {
+		return 0, fsmerr.New(fsmerr.CodeConfig, "sim.New",
+			"%d domains do not split evenly over %d colored channels", len(cfg.Mix.Profiles), n)
+	}
+	return n, nil
+}
+
+// Controller exposes the memory controller (for examples and tests). It
+// is nil in multi-channel mode — use Fabric for the per-channel
+// controllers there.
 func (s *System) Controller() *mem.Controller { return s.ctl }
+
+// Fabric exposes the multi-channel fabric, or nil in single-channel mode.
+func (s *System) Fabric() *mem.Fabric { return s.fabric }
+
+// Channels returns the fabric width (1 for the classic single-channel
+// system).
+func (s *System) Channels() int {
+	if s.fabric != nil {
+		return s.fabric.Channels()
+	}
+	return 1
+}
+
+// DomainInstructions returns the retired-instruction count of one global
+// security domain, independent of fabric mode: single-channel and
+// colored-mode counts live in a controller's stats block, interleaved
+// counts in the system-owned CPU-side accumulator. Probes (the leakage
+// harness) use this instead of reaching into Controller().Dom.
+func (s *System) DomainInstructions(domain int) int64 {
+	switch {
+	case s.fabric == nil:
+		return s.ctl.Dom[domain].Instructions
+	case s.coreStats != nil: // interleaved
+		return s.coreStats[domain].Instructions
+	default: // colored: contiguous blocks of len(domains)/channels
+		per := len(s.cfg.Mix.Profiles) / len(s.chans)
+		return s.chans[domain/per].ctl.Dom[domain%per].Instructions
+	}
+}
 
 // Reconfigure performs the §5.1 SLA change: it drains the memory
 // controller "similar to a CPU pipeline drain on a context-switch" (cores
@@ -366,6 +458,10 @@ func (s *System) Controller() *mem.Controller { return s.ctl }
 // FS policies can be reconfigured, and the spatial partitioning (page
 // coloring) is unchanged.
 func (s *System) Reconfigure(weights []int) error {
+	if s.fabric != nil {
+		return fsmerr.New(fsmerr.CodeConfig, "sim.Reconfigure",
+			"SLA reconfiguration is not supported on a multi-channel fabric")
+	}
 	if s.fs == nil {
 		return fsmerr.New(fsmerr.CodeConfig, "sim.Reconfigure",
 			"only Fixed Service schedulers support SLA reconfiguration (running %s)", s.ctl.Scheduler().Name())
@@ -428,6 +524,10 @@ func (s *System) Reconfigure(weights []int) error {
 
 // Step advances the system by one DRAM bus cycle.
 func (s *System) Step() {
+	if s.fabric != nil {
+		s.stepMulti()
+		return
+	}
 	s.ctl.Tick()
 	for cc := 0; cc < s.cfg.DRAM.CPUCyclesPerBusCycle; cc++ {
 		for _, c := range s.cores {
@@ -529,6 +629,9 @@ func (s *System) Run() Result { return s.RunContext(context.Background()) }
 func (s *System) RunContext(ctx context.Context) Result {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if s.fabric != nil {
+		return s.runMulti(ctx)
 	}
 	max := s.cfg.MaxBusCycles
 	if max == 0 {

@@ -52,6 +52,27 @@ func (d Domain) DummyFraction() float64 {
 	return float64(d.Dummies) / float64(total)
 }
 
+// Add accumulates another domain's counters into d. The multi-channel
+// fabric uses it under interleaved routing, where one domain's traffic is
+// striped across every channel: the CPU-side fields live in a
+// system-owned accumulator and the memory-side fields in each channel's
+// controller, so a plain field-wise sum merges them without double
+// counting.
+func (d *Domain) Add(o Domain) {
+	d.Instructions += o.Instructions
+	d.CPUCycles += o.CPUCycles
+	d.Reads += o.Reads
+	d.Writes += o.Writes
+	d.Dummies += o.Dummies
+	d.Prefetches += o.Prefetches
+	d.UsefulPrefetches += o.UsefulPrefetches
+	d.RowHits += o.RowHits
+	d.RowHitBoosts += o.RowHitBoosts
+	d.ReadLatencySum += o.ReadLatencySum
+	d.ReadLatencyCount += o.ReadLatencyCount
+	d.QueueDelaySum += o.QueueDelaySum
+}
+
 // ObsMetrics contributes the domain's accumulators and derived metrics to
 // an observability snapshot (structurally satisfies obs.MetricSource).
 func (d Domain) ObsMetrics(emit func(name string, value float64)) {
@@ -78,6 +99,13 @@ type Run struct {
 	// Latency holds per-domain demand-read latency histograms (may be nil
 	// for hand-built Runs).
 	Latency []*Histogram
+	// ChannelCycles holds each memory channel's own bus-cycle count in a
+	// multi-channel run (nil for single-channel runs). Channels freeze
+	// independently, so BusCycles is the max — the wall-clock span —
+	// while busy counters in Channel are summed across channels; ratios
+	// like BusUtilization must therefore divide by the summed per-channel
+	// cycles, not by the max.
+	ChannelCycles []int64
 }
 
 // TotalReads sums demand reads across domains.
@@ -99,11 +127,21 @@ func (r Run) TotalInstructions() int64 {
 }
 
 // BusUtilization returns the fraction of bus cycles the data bus was busy.
+// In a multi-channel run the busy counters are summed across channels
+// while BusCycles is the max, so the denominator is the total of the
+// per-channel cycle counts instead.
 func (r Run) BusUtilization() float64 {
-	if r.BusCycles == 0 {
+	cycles := r.BusCycles
+	if len(r.ChannelCycles) > 0 {
+		cycles = 0
+		for _, c := range r.ChannelCycles {
+			cycles += c
+		}
+	}
+	if cycles == 0 {
 		return 0
 	}
-	return float64(r.Channel.DataBusBusy) / float64(r.BusCycles)
+	return float64(r.Channel.DataBusBusy) / float64(cycles)
 }
 
 // AvgReadLatency returns the mean demand-read latency across domains.
